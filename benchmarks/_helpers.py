@@ -1,0 +1,131 @@
+"""Shared infrastructure for the table/figure reproduction benches.
+
+Scale control
+-------------
+``REPRO_BENCH_SCALE`` selects the experiment scale:
+
+* ``tiny``  (default) — minutes on a laptop.  Training runs are shortened
+  and evaluation sequences reduced; *qualitative shape* (who wins, rough
+  factors, crossovers) is still expected to reproduce.
+* ``paper`` — the paper's protocol: 10K-job traces, 100-epoch training,
+  10 × 1024-job test sequences.  Hours of CPU.
+
+Model cache
+-----------
+Several tables need trained policies (Table V/VI/VII/VIII columns "RL").
+Training once per (trace, metric) and caching the weights under
+``benchmarks/.cache/`` keeps the full bench suite tractable and makes every
+table use the *same* model, as the paper does.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import repro
+from repro.schedulers import F1, FCFS, SJF, UNICEP, WFP3, RLSchedulerPolicy
+
+CACHE_DIR = Path(__file__).parent / ".cache"
+CACHE_DIR.mkdir(exist_ok=True)
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+if SCALE not in ("tiny", "paper"):
+    raise ValueError(f"REPRO_BENCH_SCALE must be 'tiny' or 'paper', got {SCALE!r}")
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    n_jobs: int                 # jobs loaded per trace
+    eval_sequences: int         # test sequences per cell
+    eval_length: int            # jobs per test sequence
+    train_epochs: int
+    train_trajectories: int
+    train_length: int
+    max_obsv_size: int
+    pi_iters: int
+    curve_epochs: int           # epochs for training-curve figures
+
+
+SCALES = {
+    "tiny": BenchScale(
+        n_jobs=4000, eval_sequences=4, eval_length=256,
+        train_epochs=16, train_trajectories=14, train_length=64,
+        max_obsv_size=32, pi_iters=40, curve_epochs=6,
+    ),
+    "paper": BenchScale(
+        n_jobs=10_000, eval_sequences=10, eval_length=1024,
+        train_epochs=100, train_trajectories=100, train_length=256,
+        max_obsv_size=128, pi_iters=80, curve_epochs=100,
+    ),
+}
+
+S = SCALES[SCALE]
+
+#: the four main evaluation traces (Tables V, VI, X, XI; Figs 10-13)
+MAIN_TRACES = ["Lublin-1", "SDSC-SP2", "HPC2N", "Lublin-2"]
+
+_trace_cache: dict[tuple[str, int], object] = {}
+
+
+def get_trace(name: str, n_jobs: int | None = None, seed: int = 0):
+    key = (name, n_jobs or S.n_jobs, seed)
+    if key not in _trace_cache:
+        _trace_cache[key] = repro.load_trace(name, n_jobs=n_jobs or S.n_jobs,
+                                             seed=seed)
+    return _trace_cache[key]
+
+
+def heuristics():
+    """Fresh Table III scheduler instances, in the paper's column order."""
+    return [FCFS(), WFP3(), UNICEP(), SJF(), F1()]
+
+
+def eval_config(seed: int = 42) -> repro.EvalConfig:
+    return repro.EvalConfig(
+        n_sequences=S.eval_sequences, sequence_length=S.eval_length, seed=seed
+    )
+
+
+def train_configs(epochs: int | None = None, use_filter: bool = False,
+                  seed: int = 0):
+    env = repro.EnvConfig(max_obsv_size=S.max_obsv_size)
+    ppo = repro.PPOConfig(train_pi_iters=S.pi_iters, train_v_iters=S.pi_iters)
+    train = repro.TrainConfig(
+        epochs=epochs or S.train_epochs,
+        trajectories_per_epoch=S.train_trajectories,
+        trajectory_length=S.train_length,
+        seed=seed,
+        use_trajectory_filter=use_filter,
+        filter_probe_samples=30 if SCALE == "tiny" else 200,
+    )
+    return env, ppo, train
+
+
+def get_rl_scheduler(trace_name: str, metric: str = "bsld") -> RLSchedulerPolicy:
+    """Train-or-load the RL policy for (trace, metric) at the current scale."""
+    path = CACHE_DIR / f"rl_{trace_name}_{metric}_{SCALE}.npz"
+    if path.exists():
+        return RLSchedulerPolicy.load(path)
+    trace = get_trace(trace_name)
+    env, ppo, train = train_configs(
+        use_filter=(trace_name == "PIK-IPLEX" and metric == "bsld")
+    )
+    result = repro.train(trace, metric=metric, env_config=env,
+                         ppo_config=ppo, train_config=train)
+    sched = result.as_scheduler(name=f"RL-{trace_name}")
+    sched.save(path)
+    return sched
+
+
+def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:
+    """Render one paper-style table to stdout (captured by pytest -s)."""
+    widths = [max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+              for i in range(len(header))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} (scale={SCALE}) ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

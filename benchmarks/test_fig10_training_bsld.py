@@ -1,0 +1,34 @@
+"""Fig. 10 reproduction: RLScheduler training curves on the four main
+workloads, metric = average bounded slowdown.
+
+Paper result: "RLScheduler converges in all of the workloads within 100
+training epoch" (with different convergence patterns per trace variance).
+"""
+
+import numpy as np
+
+import repro
+
+from ._helpers import MAIN_TRACES, S, get_trace, print_table, train_configs
+
+
+def _curves(metric: str) -> dict[str, np.ndarray]:
+    out = {}
+    for name in MAIN_TRACES:
+        env, ppo, train = train_configs(epochs=S.curve_epochs)
+        result = repro.train(get_trace(name), metric=metric, env_config=env,
+                             ppo_config=ppo, train_config=train)
+        out[name] = result.metric_curve()
+    return out
+
+
+def test_fig10_training_curves_bsld(benchmark):
+    curves = benchmark.pedantic(lambda: _curves("bsld"), rounds=1, iterations=1)
+    rows = [[t] + [f"{v:.1f}" for v in c] for t, c in curves.items()]
+    print_table("Fig. 10: training curves, average bounded slowdown",
+                ["trace"] + [f"ep{i}" for i in range(S.curve_epochs)], rows)
+
+    for name, curve in curves.items():
+        assert (curve >= 1.0).all(), "bsld has a floor of 1"
+        # Convergence signal: some later epoch improves on the first.
+        assert curve[1:].min() <= curve[0], f"no improvement on {name}"

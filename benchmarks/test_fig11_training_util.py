@@ -1,0 +1,34 @@
+"""Fig. 11 reproduction: training curves targeting resource utilization.
+
+Paper observations: RLScheduler still converges but "with more bumps";
+HPC2N improves slowly because utilization barely varies across schedulers
+there ("the HPC2N workload is much more uniformed regarding this metrics").
+"""
+
+import numpy as np
+
+import repro
+
+from ._helpers import MAIN_TRACES, S, get_trace, print_table, train_configs
+
+
+def test_fig11_training_curves_utilization(benchmark):
+    def run():
+        out = {}
+        for name in MAIN_TRACES:
+            env, ppo, train = train_configs(epochs=S.curve_epochs)
+            result = repro.train(get_trace(name), metric="util",
+                                 env_config=env, ppo_config=ppo,
+                                 train_config=train)
+            out[name] = result.metric_curve()
+        return out
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[t] + [f"{v:.3f}" for v in c] for t, c in curves.items()]
+    print_table("Fig. 11: training curves, resource utilization",
+                ["trace"] + [f"ep{i}" for i in range(S.curve_epochs)], rows)
+
+    for name, curve in curves.items():
+        assert ((curve > 0.0) & (curve <= 1.0)).all()
+    # HPC2N's utilization band is narrow — the paper's "uniformed" trace.
+    assert np.ptp(curves["HPC2N"]) < 0.15

@@ -1,0 +1,37 @@
+"""Fig. 13 reproduction (Appendix B): training curves targeting the
+average job waiting time.
+
+Paper observation: "the metrics values in the vertical axis also become
+much larger. But we can still observe similar, fast convergence patterns".
+"""
+
+import numpy as np
+
+import repro
+
+from ._helpers import MAIN_TRACES, S, get_trace, print_table, train_configs
+
+TRACES = MAIN_TRACES[:2] if S.curve_epochs <= 8 else MAIN_TRACES
+
+
+def test_fig13_training_curves_waiting_time(benchmark):
+    def run():
+        out = {}
+        for name in TRACES:
+            env, ppo, train = train_configs(epochs=S.curve_epochs)
+            result = repro.train(get_trace(name), metric="wait",
+                                 env_config=env, ppo_config=ppo,
+                                 train_config=train)
+            out[name] = result.metric_curve()
+        return out
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[t] + [f"{v:.0f}" for v in c] for t, c in curves.items()]
+    print_table("Fig. 13: training curves, average waiting time (s)",
+                ["trace"] + [f"ep{i}" for i in range(S.curve_epochs)], rows)
+
+    for name, curve in curves.items():
+        assert (curve >= 0.0).all()
+        # waiting-time values are in seconds: much larger than slowdowns.
+        assert curve.max() > 50.0
+        assert curve[1:].min() <= curve[0], f"no improvement on {name}"

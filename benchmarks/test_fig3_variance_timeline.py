@@ -1,0 +1,47 @@
+"""Fig. 3 reproduction: SJF average bounded slowdown over consecutive
+256-job windows of the PIK-IPLEX trace timeline.
+
+The paper's shape: "in most of the time, the job slowdown is close to 1
+... but there are short period of time where the average job slowdown
+reaches 80K" — a flat baseline with rare catastrophic spikes.
+"""
+
+import numpy as np
+
+from repro.schedulers import SJF
+from repro.sim import run_scheduler
+from repro.sim.metrics import average_bounded_slowdown
+from repro.workloads import sample_sequence
+
+from ._helpers import get_trace, print_table
+
+WINDOW = 256
+
+
+def test_fig3_sjf_timeline_spikes(benchmark):
+    trace = get_trace("PIK-IPLEX")
+    rng = np.random.default_rng(0)
+
+    def scan():
+        series = []
+        for start in range(0, len(trace) - WINDOW, WINDOW):
+            seq = sample_sequence(trace, WINDOW, rng, start=start)
+            done = run_scheduler(seq, trace.max_procs, SJF())
+            series.append((start, average_bounded_slowdown(done)))
+        return series
+
+    series = benchmark.pedantic(scan, rounds=1, iterations=1)
+    values = np.array([v for _, v in series])
+    rows = [[start, f"{v:.1f}", "#" * min(int(np.log10(max(v, 1)) * 8), 48)]
+            for start, v in series]
+    print_table("Fig. 3: SJF bsld over the PIK-IPLEX timeline",
+                ["window start", "avg bsld", "profile"], rows)
+
+    # Shape assertions: mostly-calm baseline with a severe spike.
+    assert np.median(values) < 2.0, "baseline should sit near bsld=1"
+    assert values.max() > 20.0 * np.median(values), (
+        "the trace must contain a catastrophic congestion window"
+    )
+    # Spikes are *rare*: under a third of windows above 10x median.
+    frac_spiky = np.mean(values > 10 * np.median(values))
+    assert frac_spiky < 0.34

@@ -1,0 +1,52 @@
+"""Fig. 7 reproduction: the distribution of SJF-scheduled average bounded
+slowdown over randomly sampled 256-job PIK-IPLEX sequences, and the derived
+trajectory-filtering range R = (median, 2*mean).
+
+Paper annotations: Mid ~1, Mean ~730, 2*Mean ~1460 — an extremely skewed
+distribution where the median sits at the metric floor while rare windows
+dominate the mean.
+"""
+
+import numpy as np
+
+from repro.rl import TrajectoryFilter, probe_distribution
+
+from ._helpers import S, SCALE, get_trace, print_table
+
+
+def test_fig7_probe_distribution_and_filter_range(benchmark):
+    trace = get_trace("PIK-IPLEX")
+    n_samples = 60 if SCALE == "tiny" else 500
+
+    values = benchmark.pedantic(
+        lambda: probe_distribution(
+            trace, metric="bsld", n_samples=n_samples,
+            sequence_length=min(256, S.train_length * 4), seed=0,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    median, mean = float(np.median(values)), float(values.mean())
+    # histogram over log-spaced bins
+    edges = [1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 1000.0, np.inf]
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        count = int(((values >= lo) & (values < hi)).sum())
+        rows.append([f"[{lo:g}, {hi:g})", count, "#" * count])
+    print_table("Fig. 7: SJF bsld distribution over sampled sequences",
+                ["bsld range", "sequences", ""], rows)
+    print(f"median={median:.1f}  mean={mean:.1f}  2*mean={2 * mean:.1f}")
+
+    # The paper's skew shape: median at the floor, mean far above it.
+    assert median < 2.0
+    assert mean > 2.0 * median
+
+    # The filter derives R = (median, 2*mean) from this distribution.
+    f = TrajectoryFilter(metric="bsld")
+    r = f.fit(trace, n_samples=n_samples,
+              sequence_length=min(256, S.train_length * 4), seed=0)
+    assert r.low == median
+    assert r.high == 2.0 * mean
+    # Filtering removes at least the easy half of the mass.
+    inside = np.mean([(r.low < v <= r.high) for v in values])
+    assert inside <= 0.5

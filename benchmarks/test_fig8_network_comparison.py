@@ -1,0 +1,44 @@
+"""Fig. 8 reproduction: training efficiency of different policy network
+architectures (Table IV) on Lublin-1.
+
+Paper result: "RLScheduler with kernel-based policy network converges much
+faster than other networks"; MLP variants are near-indistinguishable from
+each other; LeNet underperforms because pooling/dense layers mix job order.
+"""
+
+import numpy as np
+
+import repro
+
+from ._helpers import S, get_trace, print_table, train_configs
+
+NETWORKS = ["kernel", "mlp_v2", "lenet"]  # one per architecture family
+
+
+def _train_curve(trace, preset: str) -> np.ndarray:
+    env, ppo, train = train_configs(epochs=S.curve_epochs)
+    result = repro.train(trace, metric="bsld", policy_preset=preset,
+                         env_config=env, ppo_config=ppo, train_config=train)
+    return result.reward_curve()  # -bsld, higher = better (Fig. 8 y-axis)
+
+
+def test_fig8_kernel_network_vs_alternatives(benchmark):
+    trace = get_trace("Lublin-1")
+
+    def run():
+        return {preset: _train_curve(trace, preset) for preset in NETWORKS}
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[preset] + [f"{v:.1f}" for v in curve]
+            for preset, curve in curves.items()]
+    print_table("Fig. 8: training curves (-bsld) by policy network, Lublin-1",
+                ["network"] + [f"ep{i}" for i in range(S.curve_epochs)], rows)
+
+    kernel = curves["kernel"]
+    # The kernel network must learn: later epochs better than the start.
+    assert max(kernel[1:]) > kernel[0]
+    # And it should reach at least as good a best-epoch value as every
+    # alternative (the paper's headline Fig. 8 result).
+    for other in ("mlp_v2", "lenet"):
+        assert max(kernel) >= max(curves[other]) - 0.05 * abs(max(curves[other]))

@@ -1,0 +1,51 @@
+"""Table X reproduction (Appendix A): *unbounded* average job slowdown for
+every scheduler on the four main traces, with and without backfilling.
+
+Paper observations: values exceed the bounded-slowdown table (short jobs
+inflate the ratio); the SJF/F1 vs FCFS/WFP3/UNICEP split persists; RL is
+comparable or better.
+"""
+
+from repro.api import compare
+
+from ._helpers import (
+    MAIN_TRACES,
+    eval_config,
+    get_rl_scheduler,
+    get_trace,
+    heuristics,
+    print_table,
+)
+
+
+def _grid(backfill: bool):
+    results = {}
+    for name in MAIN_TRACES:
+        trace = get_trace(name)
+        rl = get_rl_scheduler(name, "bsld")  # paper reuses the bsld models
+        rl.name = "RL"
+        results[name] = compare(heuristics() + [rl], trace, metric="slowdown",
+                                backfill=backfill, config=eval_config())
+    return results
+
+
+def test_table10_unbounded_slowdown(benchmark):
+    grids = benchmark.pedantic(
+        lambda: {"no-backfill": _grid(False), "backfill": _grid(True)},
+        rounds=1, iterations=1,
+    )
+    for mode, grid in grids.items():
+        header = ["trace"] + list(next(iter(grid.values())))
+        rows = [[t] + [f"{v:.1f}" for v in row.values()]
+                for t, row in grid.items()]
+        print_table(f"Table X ({mode}): average (unbounded) slowdown",
+                    header, rows)
+
+    nb = grids["no-backfill"]
+    for t in MAIN_TRACES:
+        # slowdown >= 1 by definition and SJF/F1 dominate FCFS.
+        assert all(v >= 1.0 for v in nb[t].values())
+        assert min(nb[t]["SJF"], nb[t]["F1"]) <= nb[t]["FCFS"]
+        # RL within the heuristic envelope (never catastrophically worst).
+        heur = {k: v for k, v in nb[t].items() if k != "RL"}
+        assert nb[t]["RL"] <= 1.5 * max(heur.values())

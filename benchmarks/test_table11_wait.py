@@ -1,0 +1,50 @@
+"""Table XI reproduction (Appendix B): average job waiting time (seconds)
+for every scheduler on the four main traces, with/without backfilling.
+
+Paper observations: values are large (seconds of wall-clock wait);
+backfilling reduces waiting dramatically for FCFS; RL is best or close.
+"""
+
+from repro.api import compare
+
+from ._helpers import (
+    MAIN_TRACES,
+    eval_config,
+    get_rl_scheduler,
+    get_trace,
+    heuristics,
+    print_table,
+)
+
+
+def _grid(backfill: bool):
+    results = {}
+    for name in MAIN_TRACES:
+        trace = get_trace(name)
+        rl = get_rl_scheduler(name, "bsld")
+        rl.name = "RL"
+        results[name] = compare(heuristics() + [rl], trace, metric="wait",
+                                backfill=backfill, config=eval_config())
+    return results
+
+
+def test_table11_waiting_time(benchmark):
+    grids = benchmark.pedantic(
+        lambda: {"no-backfill": _grid(False), "backfill": _grid(True)},
+        rounds=1, iterations=1,
+    )
+    for mode, grid in grids.items():
+        header = ["trace"] + list(next(iter(grid.values())))
+        rows = [[t] + [f"{v:.0f}" for v in row.values()]
+                for t, row in grid.items()]
+        print_table(f"Table XI ({mode}): average waiting time (s)", header, rows)
+
+    nb, bf = grids["no-backfill"], grids["backfill"]
+    for t in MAIN_TRACES:
+        # backfilling reduces FCFS waiting substantially on congested traces.
+        assert bf[t]["FCFS"] <= nb[t]["FCFS"]
+        # the informed heuristics beat FCFS without backfilling.
+        assert min(nb[t]["SJF"], nb[t]["F1"]) <= nb[t]["FCFS"]
+        # RL inside the heuristic envelope.
+        heur = {k: v for k, v in nb[t].items() if k != "RL"}
+        assert nb[t]["RL"] <= 1.5 * max(heur.values())

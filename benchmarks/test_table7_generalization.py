@@ -1,0 +1,64 @@
+"""Table VII reproduction: applying a model trained on trace X (RL-X) to
+every other trace Y, including ANL-Intrepid (never trained on).
+
+Paper result: "a learned RL-X model, regardless of which job trace it was
+trained based on, can be safely applied to other job traces Y, without
+making catastrophic scheduling decisions ... its degradation is actually
+controlled: it will be no worse than using an inappropriate heuristic
+scheduler."
+"""
+
+from repro.api import compare, evaluate
+
+from ._helpers import (
+    MAIN_TRACES,
+    eval_config,
+    get_rl_scheduler,
+    get_trace,
+    heuristics,
+    print_table,
+)
+
+TARGETS = MAIN_TRACES + ["ANL-Intrepid"]
+MODELS = MAIN_TRACES  # paper trains RL-Lublin-1, RL-SDSC-SP2, RL-HPC2N, RL-Lublin-2
+
+
+def test_table7_cross_trace_generalization(benchmark):
+    def run():
+        table = {}
+        for target in TARGETS:
+            trace = get_trace(target)
+            heur = compare(heuristics(), trace, metric="bsld",
+                           config=eval_config())
+            row = {"best-heur": min(heur.values()), "worst-heur": max(heur.values())}
+            for model_name in MODELS:
+                rl = get_rl_scheduler(model_name, "bsld")
+                rl.n_procs = trace.max_procs  # features are size-normalised
+                row[f"RL-{model_name}"] = evaluate(
+                    rl, trace, metric="bsld", config=eval_config()
+                )
+            table[target] = row
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = ["trace"] + list(next(iter(table.values())))
+    rows = [[t] + [f"{v:.1f}" for v in row.values()] for t, row in table.items()]
+    print_table("Table VII: RL-X applied to trace Y (bsld, no backfill)",
+                header, rows)
+
+    for target, row in table.items():
+        worst = row["worst-heur"]
+        for model_name in MODELS:
+            rl_value = row[f"RL-{model_name}"]
+            # The stability low-bound: degradation comparable to picking an
+            # inappropriate heuristic.  At tiny training scale (16 epochs vs
+            # the paper's 100) models trained on lightly-loaded traces see
+            # little reward signal, so allow 2.5x the worst heuristic.
+            assert rl_value <= 2.5 * worst, (
+                f"RL-{model_name} catastrophic on {target}: "
+                f"{rl_value:.1f} vs worst heuristic {worst:.1f}"
+            )
+    # Self-trained models should be respectable at home: better than the
+    # worst heuristic on their own trace.
+    for home in MODELS:
+        assert table[home][f"RL-{home}"] < table[home]["worst-heur"]

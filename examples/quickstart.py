@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: train RLScheduler on a Lublin workload and compare it with
+the paper's heuristic baselines.
+
+This is the paper's §V-C experiment in miniature — small enough to finish
+in a couple of minutes on a laptop.  Scale the config constants up to the
+paper's values (100 epochs × 100 trajectories × 256 jobs) for a full run.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.schedulers import F1, FCFS, SJF, UNICEP, WFP3
+
+# ---------------------------------------------------------------------------
+# 1. Load a workload.  Synthetic Lublin-1 here; put real .swf files in a
+#    directory and pass swf_dir=... to use them instead.
+# ---------------------------------------------------------------------------
+trace = repro.load_trace("Lublin-1", n_jobs=4000, seed=0)
+print(f"Loaded {trace.name}: {len(trace)} jobs on {trace.max_procs} processors")
+
+# ---------------------------------------------------------------------------
+# 2. Train an RL scheduling policy for average bounded slowdown.
+# ---------------------------------------------------------------------------
+result = repro.train(
+    trace,
+    metric="bsld",
+    policy_preset="kernel",                    # the paper's network (Fig. 5)
+    env_config=repro.EnvConfig(max_obsv_size=32),
+    ppo_config=repro.PPOConfig(train_pi_iters=40, train_v_iters=40),
+    train_config=repro.TrainConfig(
+        epochs=15, trajectories_per_epoch=16, trajectory_length=64, seed=0
+    ),
+)
+curve = result.metric_curve()
+print("\nTraining curve (mean bsld per epoch):")
+print("  " + " ".join(f"{v:7.1f}" for v in curve))
+
+# ---------------------------------------------------------------------------
+# 3. Deploy the learned policy as a scheduler and compare (Table V protocol:
+#    identical random test sequences for every scheduler).
+# ---------------------------------------------------------------------------
+rl_sched = result.as_scheduler()
+scores = repro.compare(
+    [FCFS(), WFP3(), UNICEP(), SJF(), F1(), rl_sched],
+    trace,
+    metric="bsld",
+    config=repro.EvalConfig(n_sequences=5, sequence_length=256, seed=42),
+)
+
+print("\nAverage bounded slowdown over 5 test sequences (lower is better):")
+for name, value in sorted(scores.items(), key=lambda kv: kv[1]):
+    print(f"  {name:<12} {value:10.2f}")
+
+# ---------------------------------------------------------------------------
+# 4. Persist the model for production use.
+# ---------------------------------------------------------------------------
+rl_sched.save("rlscheduler_lublin1.npz")
+reloaded = repro.RLSchedulerPolicy.load("rlscheduler_lublin1.npz")
+print(f"\nSaved + reloaded policy: {reloaded.name} "
+      f"({reloaded.policy.num_parameters()} parameters)")

@@ -1,0 +1,5 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so editable installs must go through `setup.py develop` (--no-use-pep517)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""High-level convenience API — the paper's evaluation protocol in three calls.
+
+* :func:`train` — learn a policy on a trace for a metric (§V-A protocol);
+* :func:`evaluate` — score one scheduler on a trace: mean metric over
+  ``n_sequences`` random windows of ``sequence_length`` jobs (§V-C2:
+  10 × 1024 by default), with or without backfilling;
+* :func:`compare` — evaluate many schedulers on the *same* windows (the
+  paper: "across different scheduling algorithms, we used the same 10
+  random job sequences to make fair comparisons") — one Table V/VI/X/XI
+  cell per scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .config import EvalConfig
+from .rl.trainer import train as _train
+from .schedulers.base import Scheduler
+from .sim.metrics import metric_by_name
+from .sim.simulator import run_scheduler
+from .workloads.sampler import SequenceSampler
+from .workloads.swf import SWFTrace
+
+__all__ = ["train", "evaluate", "compare"]
+
+train = _train
+
+
+def evaluate(
+    scheduler: Scheduler,
+    trace: SWFTrace,
+    metric: str = "bsld",
+    backfill: bool = False,
+    config: EvalConfig | None = None,
+) -> float:
+    """Mean metric of ``scheduler`` over seeded random test sequences."""
+    config = config or EvalConfig()
+    fn, _ = metric_by_name(metric)
+    sampler = SequenceSampler(trace, config.sequence_length, seed=config.seed)
+    values = []
+    for _ in range(config.n_sequences):
+        completed = run_scheduler(
+            sampler.sample(), trace.max_procs, scheduler, backfill=backfill
+        )
+        values.append(fn(completed, trace.max_procs))
+    return float(np.mean(values))
+
+
+def compare(
+    schedulers: Sequence[Scheduler] | Mapping[str, Scheduler],
+    trace: SWFTrace,
+    metric: str = "bsld",
+    backfill: bool = False,
+    config: EvalConfig | None = None,
+) -> dict[str, float]:
+    """Evaluate several schedulers on identical sequences; returns
+    ``{scheduler name: mean metric}`` in input order."""
+    config = config or EvalConfig()
+    if isinstance(schedulers, Mapping):
+        items = list(schedulers.items())
+    else:
+        items = [(s.name, s) for s in schedulers]
+    if len({name for name, _ in items}) != len(items):
+        raise ValueError("scheduler names must be unique")
+    fn, _ = metric_by_name(metric)
+
+    results: dict[str, float] = {}
+    for name, scheduler in items:
+        sampler = SequenceSampler(trace, config.sequence_length, seed=config.seed)
+        values = [
+            fn(
+                run_scheduler(
+                    sampler.sample(), trace.max_procs, scheduler, backfill=backfill
+                ),
+                trace.max_procs,
+            )
+            for _ in range(config.n_sequences)
+        ]
+        results[name] = float(np.mean(values))
+    return results

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``traces``
+    List available workloads and their Table II characteristics.
+``generate``
+    Write a synthetic workload to an SWF file.
+``evaluate``
+    Score heuristic schedulers (and optionally a saved RL model) on a
+    workload — one Table V/VI/X/XI row from the shell.
+``train``
+    Train an RL scheduling policy and save it as ``.npz``.
+
+Examples
+--------
+::
+
+    python -m repro traces
+    python -m repro generate PIK-IPLEX --jobs 10000 -o pik.swf
+    python -m repro evaluate Lublin-1 --metric bsld --backfill
+    python -m repro train Lublin-1 --metric bsld --epochs 20 -o model.npz
+    python -m repro evaluate Lublin-1 --model model.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import EvalConfig, EnvConfig, PPOConfig, TrainConfig, compare, load_trace, train
+from .schedulers import HEURISTICS, RLSchedulerPolicy
+from .sim.metrics import METRICS
+from .workloads import available_traces, characterize, write_swf
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RLScheduler reproduction: RL-based HPC batch job scheduling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("traces", help="list workloads and their statistics")
+    p.add_argument("--jobs", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("generate", help="write a synthetic workload to SWF")
+    p.add_argument("name", choices=available_traces())
+    p.add_argument("--jobs", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("evaluate", help="compare schedulers on a workload")
+    p.add_argument("name")
+    p.add_argument("--jobs", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--metric", choices=sorted(METRICS), default="bsld")
+    p.add_argument("--backfill", action="store_true")
+    p.add_argument("--sequences", type=int, default=4)
+    p.add_argument("--length", type=int, default=256)
+    p.add_argument("--swf-dir", default=None)
+    p.add_argument("--model", default=None,
+                   help="path to a saved RL policy (.npz) to include")
+
+    p = sub.add_parser("train", help="train an RL policy and save it")
+    p.add_argument("name")
+    p.add_argument("--jobs", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--metric", choices=sorted(METRICS), default="bsld")
+    p.add_argument("--epochs", type=int, default=16)
+    p.add_argument("--trajectories", type=int, default=14)
+    p.add_argument("--length", type=int, default=64)
+    p.add_argument("--obsv", type=int, default=32,
+                   help="MAX_OBSV_SIZE (paper default 128)")
+    p.add_argument("--policy", choices=["kernel", "mlp_v1", "mlp_v2",
+                                        "mlp_v3", "lenet"], default="kernel")
+    p.add_argument("--filter", action="store_true",
+                   help="enable trajectory filtering (recommended for PIK)")
+    p.add_argument("--swf-dir", default=None)
+    p.add_argument("-o", "--output", required=True)
+
+    return parser
+
+
+def _cmd_traces(args) -> int:
+    print(f"{'Name':<14} {'size':>7} {'it(s)':>8} {'rt(s)':>8} {'nt':>8}")
+    for name in available_traces():
+        trace = load_trace(name, n_jobs=args.jobs, seed=args.seed)
+        print(characterize(trace).table_row())
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    trace = load_trace(args.name, n_jobs=args.jobs, seed=args.seed)
+    write_swf(trace, args.output)
+    print(f"wrote {len(trace)} jobs ({trace.max_procs} procs) to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    trace = load_trace(args.name, n_jobs=args.jobs, seed=args.seed,
+                       swf_dir=args.swf_dir)
+    schedulers = [cls() for cls in HEURISTICS.values()]
+    if args.model:
+        rl = RLSchedulerPolicy.load(args.model)
+        rl.n_procs = trace.max_procs
+        schedulers.append(rl)
+    config = EvalConfig(n_sequences=args.sequences,
+                        sequence_length=args.length, seed=42)
+    scores = compare(schedulers, trace, metric=args.metric,
+                     backfill=args.backfill, config=config)
+    mode = "backfill" if args.backfill else "no backfill"
+    print(f"{args.metric} on {trace.name} ({mode}, "
+          f"{args.sequences}x{args.length} jobs):")
+    for name, value in scores.items():
+        print(f"  {name:<14} {value:12.3f}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    trace = load_trace(args.name, n_jobs=args.jobs, seed=args.seed,
+                       swf_dir=args.swf_dir)
+    result = train(
+        trace,
+        metric=args.metric,
+        policy_preset=args.policy,
+        env_config=EnvConfig(max_obsv_size=args.obsv),
+        ppo_config=PPOConfig(),
+        train_config=TrainConfig(
+            epochs=args.epochs,
+            trajectories_per_epoch=args.trajectories,
+            trajectory_length=args.length,
+            seed=args.seed,
+            use_trajectory_filter=args.filter,
+        ),
+    )
+    sched = result.as_scheduler()
+    sched.save(args.output)
+    curve = result.metric_curve()
+    print(f"trained {args.policy} on {trace.name} for {args.metric}: "
+          f"epoch-0 {curve[0]:.2f} -> best {curve.min():.2f} "
+          f"(epoch {result.best_epoch})")
+    print(f"saved to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "traces": _cmd_traces,
+    "generate": _cmd_generate,
+    "evaluate": _cmd_evaluate,
+    "train": _cmd_train,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Every tunable of the reproduction, with the paper's defaults.
+
+Grouped into frozen dataclasses so experiment code can't mutate shared
+state.  Values quoted from the paper:
+
+* ``MAX_OBSV_SIZE = 128`` observable jobs (§IV-B3);
+* 100 trajectories/epoch, 256 jobs per trajectory, 80 update iterations
+  per epoch, learning rate 1e-3 (§V-A);
+* test sequences of 1024 jobs, 10 repetitions (§V-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnvConfig", "PPOConfig", "TrainConfig", "EvalConfig"]
+
+
+@dataclass(frozen=True)
+class EnvConfig:
+    """SchedGym observation / action space parameters."""
+
+    max_obsv_size: int = 128      # MAX_OBSV_SIZE: visible job slots
+    job_features: int = 7         # features per visible job (see env.py)
+    backfill: bool = False
+    wait_scale: float = 86_400.0      # saturating scale for wait-time feature
+    runtime_scale: float = 5 * 86_400.0  # log-normalisation cap for runtimes
+
+    def __post_init__(self) -> None:
+        if self.max_obsv_size <= 0:
+            raise ValueError("max_obsv_size must be positive")
+        if self.job_features < 5:
+            raise ValueError("need at least the 5 core job features")
+
+    @property
+    def observation_shape(self) -> tuple[int, int]:
+        return (self.max_obsv_size, self.job_features)
+
+
+@dataclass(frozen=True)
+class PPOConfig:
+    """PPO-clip hyper-parameters (SpinningUp defaults the paper used)."""
+
+    clip_ratio: float = 0.2
+    pi_lr: float = 1e-3           # paper: "the learning rate is 1e-3"
+    vf_lr: float = 1e-3
+    train_pi_iters: int = 80      # paper: "80 iterations to update"
+    train_v_iters: int = 80
+    gamma: float = 1.0            # episodic task with terminal reward
+    lam: float = 0.97             # GAE-lambda
+    target_kl: float = 0.01       # early-stop threshold
+    entropy_coef: float = 0.0
+    max_grad_norm: float = 10.0
+    minibatch_size: int = 4096    # bounds peak memory of each update pass
+
+    def __post_init__(self) -> None:
+        if not 0 < self.clip_ratio < 1:
+            raise ValueError("clip_ratio must be in (0, 1)")
+        if not 0 <= self.gamma <= 1 or not 0 <= self.lam <= 1:
+            raise ValueError("gamma and lam must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Epoch-level training protocol (§V-A)."""
+
+    epochs: int = 100
+    trajectories_per_epoch: int = 100
+    trajectory_length: int = 256  # jobs per training sequence
+    seed: int = 0
+    use_trajectory_filter: bool = False
+    filter_probe_samples: int = 200   # SJF probes to build the Fig. 7 distribution
+    filter_phase1_fraction: float = 0.6  # fraction of epochs in filtered phase
+
+    def __post_init__(self) -> None:
+        if min(self.epochs, self.trajectories_per_epoch, self.trajectory_length) <= 0:
+            raise ValueError("training sizes must be positive")
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """Test-time protocol: 10 sequences of 1024 jobs (§V-C2)."""
+
+    n_sequences: int = 10
+    sequence_length: int = 1024
+    seed: int = 42

@@ -1,0 +1,48 @@
+"""From-scratch NumPy neural-network stack: reverse-mode autodiff tensors,
+layers (dense/conv/pool), the paper's policy & value networks, optimizers."""
+
+from .tensor import Parameter, Tensor, no_grad
+from .layers import Conv2d, Dense, Flatten, Module, Sequential, conv2d, max_pool2d
+from .functional import (
+    entropy,
+    greedy_action,
+    log_prob_of,
+    masked_log_softmax,
+    sample_action,
+)
+from .networks import (
+    POLICY_PRESETS,
+    KernelPolicy,
+    LeNetPolicy,
+    MLPPolicy,
+    ValueMLP,
+    make_policy,
+)
+from .optim import SGD, Adam, clip_grad_norm
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "no_grad",
+    "Module",
+    "Dense",
+    "Sequential",
+    "Conv2d",
+    "Flatten",
+    "conv2d",
+    "max_pool2d",
+    "masked_log_softmax",
+    "log_prob_of",
+    "entropy",
+    "sample_action",
+    "greedy_action",
+    "KernelPolicy",
+    "MLPPolicy",
+    "LeNetPolicy",
+    "ValueMLP",
+    "POLICY_PRESETS",
+    "make_policy",
+    "Adam",
+    "SGD",
+    "clip_grad_norm",
+]

@@ -1,0 +1,73 @@
+"""Probability utilities for the categorical policy head.
+
+The policy networks emit one score per visible job slot; these helpers turn
+scores into a masked categorical distribution (padded slots get probability
+zero), sample actions during training, and compute the log-probs and
+entropy PPO needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "masked_log_softmax",
+    "log_prob_of",
+    "entropy",
+    "sample_action",
+    "greedy_action",
+]
+
+_MASK_FILL = -1e9
+
+
+def masked_log_softmax(logits: Tensor, mask: np.ndarray) -> Tensor:
+    """Log-softmax over the last axis with invalid slots masked out.
+
+    ``mask`` is a boolean array broadcastable to ``logits.shape``; False
+    entries receive log-probability ~ -1e9 (probability 0 after exp).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if not mask.any(axis=-1).all():
+        raise ValueError("every row must have at least one valid action")
+    masked = logits.where(mask, Tensor(np.full(logits.shape, _MASK_FILL)))
+    # Stability shift by a detached per-row max (constant w.r.t. gradients).
+    shift = Tensor(masked.data.max(axis=-1, keepdims=True))
+    shifted = masked - shift
+    log_norm = shifted.exp().sum(axis=-1, keepdims=True).log()
+    return shifted - log_norm
+
+
+def log_prob_of(log_probs: Tensor, actions: np.ndarray) -> Tensor:
+    """Gather per-row log-probabilities of chosen actions.
+
+    ``log_probs``: (B, A) tensor; ``actions``: (B,) int array → (B,) tensor.
+    """
+    actions = np.asarray(actions, dtype=np.int64)
+    batch = np.arange(log_probs.shape[0])
+    return log_probs[batch, actions]
+
+
+def entropy(log_probs: Tensor) -> Tensor:
+    """Mean categorical entropy, -Σ p·log p, ignoring masked slots.
+
+    Masked slots have log p ≈ -1e9 and p ≈ 0; their p·log p contribution
+    underflows to exactly 0 in float64, so no re-masking is needed.
+    """
+    p = log_probs.exp()
+    per_row = -(p * log_probs).sum(axis=-1)
+    return per_row.mean()
+
+
+def sample_action(log_probs_row: np.ndarray, rng: np.random.Generator) -> int:
+    """Sample one action from a single row of log-probabilities."""
+    p = np.exp(log_probs_row - log_probs_row.max())
+    p /= p.sum()
+    return int(rng.choice(len(p), p=p))
+
+
+def greedy_action(log_probs_row: np.ndarray) -> int:
+    """Deterministic argmax action (test-time behaviour, paper §IV-B1)."""
+    return int(np.argmax(log_probs_row))

@@ -1,0 +1,252 @@
+"""Neural-network building blocks over the autodiff tensor.
+
+``Dense`` covers the kernel network, the MLP policies and the value
+network; ``conv2d`` / ``max_pool2d`` exist for the LeNet baseline of the
+Fig. 8 network-architecture comparison (Table IV row 4).  Convolution is
+implemented with im2col so the inner loop is a single matmul, per the
+vectorise-first guide idiom; its backward scatters through the same window
+geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Parameter, Tensor
+
+__all__ = ["Module", "Dense", "Sequential", "conv2d", "max_pool2d", "Conv2d", "Flatten"]
+
+
+class Module:
+    """Base class with recursive parameter discovery and (de)serialisation."""
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            params.extend(_collect(value, seen))
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # --- persistence ----------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"p{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} arrays but model has {len(params)} parameters"
+            )
+        for i, p in enumerate(params):
+            arr = np.asarray(state[f"p{i}"], dtype=np.float64)
+            if arr.shape != p.data.shape:
+                raise ValueError(
+                    f"parameter {i}: shape {arr.shape} != expected {p.data.shape}"
+                )
+            p.data = arr.copy()
+
+    def save(self, path) -> None:
+        np.savez(path, **self.state_dict())
+
+    def load(self, path) -> None:
+        with np.load(path) as data:
+            self.load_state_dict({k: data[k] for k in data.files})
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _collect(value, seen: set[int]) -> Iterator[Parameter]:
+    if isinstance(value, Parameter):
+        if id(value) not in seen:
+            seen.add(id(value))
+            yield value
+    elif isinstance(value, Module):
+        for p in value.parameters():
+            if id(p) not in seen:
+                seen.add(id(p))
+                yield p
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect(item, seen)
+
+
+_ACTIVATIONS = {
+    "relu": lambda t: t.relu(),
+    "tanh": lambda t: t.tanh(),
+    "sigmoid": lambda t: t.sigmoid(),
+    "identity": lambda t: t,
+}
+
+
+class Dense(Module):
+    """Fully-connected layer, ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str = "identity",
+        rng: np.random.Generator | None = None,
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; known: {sorted(_ACTIVATIONS)}"
+            )
+        rng = rng or np.random.default_rng()
+        if activation == "relu":  # He init
+            scale = np.sqrt(2.0 / in_features)
+        else:  # Xavier/Glorot
+            scale = np.sqrt(1.0 / in_features)
+        self.weight = Parameter(rng.normal(0.0, scale, size=(in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features))
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight + self.bias
+        return _ACTIVATIONS[self.activation](out)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+# ---------------------------------------------------------------------------
+# convolution (for the LeNet comparison network)
+# ---------------------------------------------------------------------------
+def _im2col(x: np.ndarray, kh: int, kw: int, pad: int) -> tuple[np.ndarray, int, int]:
+    """(N,C,H,W) -> (N, C*kh*kw, Ho*Wo) windows, stride 1."""
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    n, c, h, w = x.shape
+    ho, wo = h - kh + 1, w - kw + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    # windows: (N, C, Ho, Wo, kh, kw) -> (N, C, kh, kw, Ho, Wo)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, ho * wo)
+    return np.ascontiguousarray(cols), ho, wo
+
+
+def _col2im(
+    dcols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    pad: int,
+    ho: int,
+    wo: int,
+) -> np.ndarray:
+    """Scatter-add gradient of im2col back to the (padded) input."""
+    n, c, h, w = x_shape
+    dxp = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+    d = dcols.reshape(n, c, kh, kw, ho, wo)
+    for i in range(kh):
+        for j in range(kw):
+            dxp[:, :, i : i + ho, j : j + wo] += d[:, :, i, j]
+    if pad:
+        return dxp[:, :, pad:-pad, pad:-pad]
+    return dxp
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor, pad: int = 0) -> Tensor:
+    """2-D convolution, stride 1.  x: (N,C,H,W); weight: (F,C,kh,kw)."""
+    f, c, kh, kw = weight.shape
+    if x.ndim != 4 or x.shape[1] != c:
+        raise ValueError(f"input {x.shape} incompatible with weight {weight.shape}")
+    cols, ho, wo = _im2col(x.data, kh, kw, pad)  # (N, C*kh*kw, L)
+    wmat = weight.data.reshape(f, -1)            # (F, C*kh*kw)
+    out_data = np.einsum("fk,nkl->nfl", wmat, cols).reshape(-1, f, ho, wo)
+    out_data += bias.data.reshape(1, f, 1, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(grad.shape[0], f, ho * wo)  # (N, F, L)
+        if bias.requires_grad:
+            bias._accumulate(g.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            dw = np.einsum("nfl,nkl->fk", g, cols).reshape(weight.shape)
+            weight._accumulate(dw)
+        if x.requires_grad:
+            dcols = np.einsum("fk,nfl->nkl", wmat, g)
+            x._accumulate(_col2im(dcols, x.data.shape, kh, kw, pad, ho, wo))
+
+    return Tensor._from_op(out_data, (x, weight, bias), backward)
+
+
+def max_pool2d(x: Tensor, k: int = 2) -> Tensor:
+    """Non-overlapping k×k max pooling (trailing rows/cols are dropped)."""
+    n, c, h, w = x.shape
+    ho, wo = h // k, w // k
+    if ho == 0 or wo == 0:
+        raise ValueError(f"input {x.shape} too small for {k}x{k} pooling")
+    view = x.data[:, :, : ho * k, : wo * k].reshape(n, c, ho, k, wo, k)
+    out_data = view.max(axis=(3, 5))
+    # Record which element won each window for the backward scatter.
+    flat = view.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, ho, wo, k * k)
+    winners = flat.argmax(axis=-1)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        dflat = np.zeros_like(flat)
+        np.put_along_axis(dflat, winners[..., None], grad[..., None], axis=-1)
+        dx = np.zeros_like(x.data)
+        dx[:, :, : ho * k, : wo * k] = (
+            dflat.reshape(n, c, ho, wo, k, k).transpose(0, 1, 2, 4, 3, 5)
+        ).reshape(n, c, ho * k, wo * k)
+        x._accumulate(dx)
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+class Conv2d(Module):
+    """Convolution layer wrapper for :func:`conv2d`."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        pad: int = 0,
+        activation: str = "relu",
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng()
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size))
+        )
+        self.bias = Parameter(np.zeros(out_channels))
+        self.pad = pad
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        return _ACTIVATIONS[self.activation](conv2d(x, self.weight, self.bias, self.pad))
+
+
+class Flatten(Module):
+    """Collapse all but the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)

@@ -1,0 +1,424 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+The paper's stack (TensorFlow) is unavailable offline, so this module
+provides the minimal-but-complete tensor engine the PPO implementation
+needs: broadcast-aware elementwise ops, matmul, reductions, indexing, and
+the nonlinearities used by the policy / value networks.  Gradients flow
+through a topologically-sorted backward pass over the recorded graph.
+
+Design notes (following the hpc-parallel guide idioms):
+
+* all math is vectorised NumPy; the graph bookkeeping is thin Python;
+* broadcasting is handled once in :func:`_unbroadcast`, which sums gradient
+  contributions over broadcast axes so every binary op stays simple;
+* float64 throughout — the networks are tiny (<10k parameters), so
+  numerical robustness is worth more than memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "no_grad"]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (the inverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size-1 in the original.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class _GradMode:
+    enabled = True
+
+
+class no_grad:
+    """Context manager disabling graph recording (inference-time speed)."""
+
+    def __enter__(self):
+        self._prev = _GradMode.enabled
+        _GradMode.enabled = False
+        return self
+
+    def __exit__(self, *exc):
+        _GradMode.enabled = self._prev
+        return False
+
+
+class Tensor:
+    """An array node in the autodiff graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __array_priority__ = 100  # make np.ndarray defer to our __radd__ etc.
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = requires_grad and _GradMode.enabled
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple["Tensor", ...] = ()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lift(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    @classmethod
+    def _from_op(
+        cls,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GradMode.enabled and any(p.requires_grad for p in parents)
+        out = cls(data, requires_grad=False)
+        out.requires_grad = requires
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (shared, do not mutate during training)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # gradient accumulation / backward pass
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | float | None = None) -> None:
+        """Backpropagate from this node (defaults to d(self)/d(self) = 1)."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that requires no grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without grad requires a scalar")
+            grad = np.ones_like(self.data)
+
+        # Topological order via iterative DFS (recursion would overflow on
+        # deep PPO graphs).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._lift(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._lift(other) * self ** -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1.0))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # matmul
+    # ------------------------------------------------------------------
+    def __matmul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        if self.data.ndim != 2 or other.data.ndim != 2:
+            raise ValueError(
+                f"matmul supports 2-D tensors only, got {self.shape} @ {other.shape}"
+            )
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ grad)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (self.data > 0.0))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ------------------------------------------------------------------
+    # shape manipulation / indexing
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.data.shape))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        axes_t = axes if axes else None
+        out_data = self.data.transpose(axes_t)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            if axes_t is None:
+                self._accumulate(grad.transpose())
+            else:
+                self._accumulate(grad.transpose(np.argsort(axes_t)))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # clipping / selection (PPO objective needs these)
+    # ------------------------------------------------------------------
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        out_data = np.clip(self.data, lo, hi)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                inside = (self.data >= lo) & (self.data <= hi)
+                self._accumulate(grad * inside)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def minimum(self, other) -> "Tensor":
+        """Elementwise min; on ties the gradient goes to ``self`` (like np)."""
+        other = self._lift(other)
+        take_self = self.data <= other.data
+        out_data = np.where(take_self, self.data, other.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * take_self)
+            if other.requires_grad:
+                other._accumulate(grad * ~take_self)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    def maximum(self, other) -> "Tensor":
+        other = self._lift(other)
+        take_self = self.data >= other.data
+        out_data = np.where(take_self, self.data, other.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * take_self)
+            if other.requires_grad:
+                other._accumulate(grad * ~take_self)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    def where(self, condition: np.ndarray, other) -> "Tensor":
+        """``condition ? self : other`` with a constant boolean condition."""
+        other = self._lift(other)
+        cond = np.asarray(condition, dtype=bool)
+        out_data = np.where(cond, self.data, other.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * cond)
+            if other.requires_grad:
+                other._accumulate(grad * ~cond)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always requires grad)."""
+
+    __slots__ = ()
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+        self.requires_grad = True  # immune to no_grad at construction time

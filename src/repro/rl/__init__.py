@@ -1,0 +1,25 @@
+"""Reinforcement-learning core: rewards, GAE buffer, PPO, trajectory
+filtering, and the epoch training loop."""
+
+from .reward import RewardFn, combine_rewards, make_reward, reward_names
+from .buffer import TrajectoryBuffer
+from .ppo import PPOAgent, UpdateStats
+from .filtering import FilterRange, TrajectoryFilter, probe_distribution
+from .trainer import EpochRecord, Trainer, TrainingResult, train
+
+__all__ = [
+    "RewardFn",
+    "make_reward",
+    "combine_rewards",
+    "reward_names",
+    "TrajectoryBuffer",
+    "PPOAgent",
+    "UpdateStats",
+    "FilterRange",
+    "TrajectoryFilter",
+    "probe_distribution",
+    "EpochRecord",
+    "Trainer",
+    "TrainingResult",
+    "train",
+]

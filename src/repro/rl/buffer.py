@@ -1,0 +1,123 @@
+"""Trajectory storage with GAE-λ advantage estimation.
+
+PPO consumes fixed arrays of (observation, mask, action, log-prob, return,
+advantage).  Episodes here are whole job sequences whose reward arrives
+only at the terminal step (paper §IV-A), so with γ=1 the return-to-go of
+every step equals the terminal reward; GAE still shapes per-step
+advantages through the value-network baseline ("we can use (r - expr) to
+train the policy").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TrajectoryBuffer"]
+
+
+class TrajectoryBuffer:
+    """Append-only store for one epoch of interactions.
+
+    Usage::
+
+        buf.store(obs, mask, action, log_prob, value)   # per step
+        buf.end_episode(terminal_reward)                 # per sequence
+        data = buf.get()                                 # once per epoch
+    """
+
+    def __init__(self, gamma: float = 1.0, lam: float = 0.97):
+        if not (0.0 <= gamma <= 1.0 and 0.0 <= lam <= 1.0):
+            raise ValueError("gamma and lam must be in [0, 1]")
+        self.gamma = gamma
+        self.lam = lam
+        self._obs: list[np.ndarray] = []
+        self._masks: list[np.ndarray] = []
+        self._actions: list[int] = []
+        self._log_probs: list[float] = []
+        self._values: list[float] = []
+        self._rewards: list[float] = []
+        self._episode_start = 0
+        self._advantages: list[np.ndarray] = []
+        self._returns: list[np.ndarray] = []
+        self._episode_rewards: list[float] = []
+
+    # ------------------------------------------------------------------
+    def store(
+        self,
+        obs: np.ndarray,
+        mask: np.ndarray,
+        action: int,
+        log_prob: float,
+        value: float,
+        reward: float = 0.0,
+    ) -> None:
+        self._obs.append(np.asarray(obs, dtype=np.float32))
+        self._masks.append(np.asarray(mask, dtype=bool))
+        self._actions.append(int(action))
+        self._log_probs.append(float(log_prob))
+        self._values.append(float(value))
+        self._rewards.append(float(reward))
+
+    def end_episode(self, terminal_reward: float = 0.0) -> None:
+        """Close the current episode, folding the terminal reward into the
+        last stored step and computing its advantages/returns."""
+        start, end = self._episode_start, len(self._rewards)
+        if end == start:
+            raise RuntimeError("end_episode() with no stored steps")
+        self._rewards[end - 1] += float(terminal_reward)
+
+        rewards = np.array(self._rewards[start:end])
+        values = np.array(self._values[start:end])
+        next_values = np.append(values[1:], 0.0)  # terminal value is 0
+
+        deltas = rewards + self.gamma * next_values - values
+        adv = np.empty_like(deltas)
+        acc = 0.0
+        for t in range(len(deltas) - 1, -1, -1):
+            acc = deltas[t] + self.gamma * self.lam * acc
+            adv[t] = acc
+
+        rets = np.empty_like(rewards)
+        acc = 0.0
+        for t in range(len(rewards) - 1, -1, -1):
+            acc = rewards[t] + self.gamma * acc
+            rets[t] = acc
+
+        self._advantages.append(adv)
+        self._returns.append(rets)
+        self._episode_rewards.append(float(rewards.sum()))
+        self._episode_start = end
+
+    # ------------------------------------------------------------------
+    @property
+    def n_steps(self) -> int:
+        return len(self._actions)
+
+    @property
+    def n_episodes(self) -> int:
+        return len(self._episode_rewards)
+
+    @property
+    def episode_rewards(self) -> list[float]:
+        return list(self._episode_rewards)
+
+    def get(self, normalize_advantages: bool = True) -> dict[str, np.ndarray]:
+        """All completed-episode data, advantage-normalised for PPO."""
+        if self._episode_start != len(self._rewards):
+            raise RuntimeError("an episode is still open; call end_episode()")
+        if not self._advantages:
+            raise RuntimeError("buffer is empty")
+        adv = np.concatenate(self._advantages)
+        if normalize_advantages:
+            adv = (adv - adv.mean()) / (adv.std() + 1e-8)
+        return {
+            "obs": np.stack(self._obs),
+            "masks": np.stack(self._masks),
+            "actions": np.array(self._actions, dtype=np.int64),
+            "log_probs": np.array(self._log_probs),
+            "advantages": adv,
+            "returns": np.concatenate(self._returns),
+        }
+
+    def clear(self) -> None:
+        self.__init__(gamma=self.gamma, lam=self.lam)

@@ -1,0 +1,112 @@
+"""Trajectory filtering (paper §IV-C, Fig. 7).
+
+High-variance traces (PIK-IPLEX) mix "easy sequences" — any policy scores
+well, so nothing is learned — with rare catastrophic "hard sequences" that
+wreck whatever the agent has learned.  The paper's remedy:
+
+1. schedule many randomly sampled sequences with a *known heuristic* (SJF)
+   and collect the metric distribution;
+2. keep only sequences whose SJF metric falls in
+   ``R = (median, 2 × mean)`` — dropping the easy half (below the median)
+   and the extreme tail (above twice the mean, small in a skewed
+   distribution) — for the first training phase;
+3. train a second phase on everything once the policy has converged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.schedulers.heuristics import SJF
+from repro.sim.metrics import metric_by_name
+from repro.sim.simulator import run_scheduler
+from repro.workloads.job import Job
+from repro.workloads.sampler import SequenceSampler
+from repro.workloads.swf import SWFTrace
+
+__all__ = ["FilterRange", "TrajectoryFilter", "probe_distribution"]
+
+
+@dataclass(frozen=True)
+class FilterRange:
+    """The accepted metric interval ``(low, high]`` with its provenance."""
+
+    low: float      # median of the probe distribution
+    high: float     # 2 * mean of the probe distribution
+    median: float
+    mean: float
+    skewness: float
+
+    def accepts(self, value: float) -> bool:
+        return self.low < value <= self.high
+
+
+def probe_distribution(
+    trace: SWFTrace,
+    metric: str = "bsld",
+    n_samples: int = 200,
+    sequence_length: int = 256,
+    seed: int = 0,
+    backfill: bool = False,
+) -> np.ndarray:
+    """SJF-scheduled metric values over random sequence windows (Fig. 7)."""
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    fn, _ = metric_by_name(metric)
+    sampler = SequenceSampler(trace, sequence_length, seed=seed)
+    sjf = SJF()
+    values = np.empty(n_samples)
+    for i in range(n_samples):
+        completed = run_scheduler(
+            sampler.sample(), trace.max_procs, sjf, backfill=backfill
+        )
+        values[i] = fn(completed, trace.max_procs)
+    return values
+
+
+class TrajectoryFilter:
+    """Accept/reject training sequences by their SJF-probe metric."""
+
+    def __init__(self, metric: str = "bsld", backfill: bool = False):
+        self.metric = metric
+        self.backfill = backfill
+        self._fn, _ = metric_by_name(metric)
+        self.range: FilterRange | None = None
+
+    def fit(
+        self,
+        trace: SWFTrace,
+        n_samples: int = 200,
+        sequence_length: int = 256,
+        seed: int = 0,
+    ) -> FilterRange:
+        """Build the Fig. 7 distribution and derive ``R = (median, 2·mean)``."""
+        values = probe_distribution(
+            trace,
+            metric=self.metric,
+            n_samples=n_samples,
+            sequence_length=sequence_length,
+            seed=seed,
+            backfill=self.backfill,
+        )
+        mean = float(values.mean())
+        median = float(np.median(values))
+        std = float(values.std())
+        skew = float(((values - mean) ** 3).mean() / std**3) if std > 0 else 0.0
+        self.range = FilterRange(
+            low=median, high=2.0 * mean, median=median, mean=mean, skewness=skew
+        )
+        return self.range
+
+    def sequence_value(self, jobs: Sequence[Job], n_procs: int) -> float:
+        """The SJF metric of one candidate sequence (the filter criterion)."""
+        completed = run_scheduler(jobs, n_procs, SJF(), backfill=self.backfill)
+        return self._fn(completed, n_procs)
+
+    def accepts(self, jobs: Sequence[Job], n_procs: int) -> bool:
+        if self.range is None:
+            raise RuntimeError("call fit() before filtering")
+        return self.range.accepts(self.sequence_value(jobs, n_procs))

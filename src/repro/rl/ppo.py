@@ -1,0 +1,171 @@
+"""Proximal Policy Optimization (clip variant) — the paper's training
+algorithm, "based on the PPO algorithm from OpenAI Spinning Up".
+
+Actor-critic: the policy network scores visible jobs (any Table IV
+architecture), the value network predicts the expected sequence reward.
+Per epoch, ``train_pi_iters`` clipped-surrogate steps update the policy
+(with early stopping once the sampled KL divergence exceeds
+``1.5 × target_kl``) and ``train_v_iters`` regression steps fit the value
+function — the SpinningUp procedure.  Updates run on random minibatches so
+peak memory stays bounded on full paper-scale batches (25,600 steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import PPOConfig
+from repro.nn import (
+    Adam,
+    Module,
+    Tensor,
+    clip_grad_norm,
+    entropy,
+    log_prob_of,
+    masked_log_softmax,
+    no_grad,
+    sample_action,
+)
+
+__all__ = ["PPOAgent", "UpdateStats"]
+
+
+@dataclass(frozen=True)
+class UpdateStats:
+    """Diagnostics of one epoch update."""
+
+    policy_loss: float
+    value_loss: float
+    kl: float
+    entropy: float
+    pi_iters_run: int
+    early_stopped: bool
+
+
+class PPOAgent:
+    """Actor-critic agent with PPO-clip updates."""
+
+    def __init__(
+        self,
+        policy: Module,
+        value: Module,
+        config: PPOConfig | None = None,
+        seed: int = 0,
+    ):
+        self.policy = policy
+        self.value = value
+        self.config = config or PPOConfig()
+        self.rng = np.random.default_rng(seed)
+        self.pi_optimizer = Adam(policy.parameters(), lr=self.config.pi_lr)
+        self.v_optimizer = Adam(value.parameters(), lr=self.config.vf_lr)
+
+    # ------------------------------------------------------------------
+    # acting
+    # ------------------------------------------------------------------
+    def act(self, obs: np.ndarray, mask: np.ndarray) -> tuple[int, float, float]:
+        """Sample an action for one observation.
+
+        Returns ``(action, log_prob, value_estimate)`` — what the buffer
+        stores per step.
+        """
+        with no_grad():
+            logits = self.policy(obs[None], mask[None])
+            log_probs = masked_log_softmax(logits, mask[None]).numpy()[0]
+            value = float(self.value(obs[None]).numpy()[0])
+        action = sample_action(log_probs, self.rng)
+        return action, float(log_probs[action]), value
+
+    def act_greedy(self, obs: np.ndarray, mask: np.ndarray) -> int:
+        """Deterministic test-time action (highest probability)."""
+        with no_grad():
+            logits = self.policy(obs[None], mask[None])
+            log_probs = masked_log_softmax(logits, mask[None]).numpy()[0]
+        return int(np.argmax(log_probs))
+
+    # ------------------------------------------------------------------
+    # learning
+    # ------------------------------------------------------------------
+    def update(self, data: dict[str, np.ndarray]) -> UpdateStats:
+        """One epoch of PPO updates from a :class:`TrajectoryBuffer` dump."""
+        cfg = self.config
+        n = len(data["actions"])
+        if n == 0:
+            raise ValueError("empty update batch")
+        batch_size = min(cfg.minibatch_size, n)
+
+        pi_losses, kls, entropies = [], [], []
+        early_stopped = False
+        iters_run = 0
+        for _ in range(cfg.train_pi_iters):
+            idx = self._minibatch_indices(n, batch_size)
+            loss_pi, kl, ent = self._policy_step(data, idx)
+            iters_run += 1
+            pi_losses.append(loss_pi)
+            kls.append(kl)
+            entropies.append(ent)
+            if kl > 1.5 * cfg.target_kl:
+                early_stopped = True
+                break
+
+        v_losses = []
+        for _ in range(cfg.train_v_iters):
+            idx = self._minibatch_indices(n, batch_size)
+            v_losses.append(self._value_step(data, idx))
+
+        return UpdateStats(
+            policy_loss=float(np.mean(pi_losses)),
+            value_loss=float(np.mean(v_losses)),
+            kl=float(kls[-1]),
+            entropy=float(np.mean(entropies)),
+            pi_iters_run=iters_run,
+            early_stopped=early_stopped,
+        )
+
+    def _minibatch_indices(self, n: int, batch_size: int) -> np.ndarray:
+        if batch_size >= n:
+            return np.arange(n)
+        return self.rng.choice(n, size=batch_size, replace=False)
+
+    def _policy_step(
+        self, data: dict[str, np.ndarray], idx: np.ndarray
+    ) -> tuple[float, float, float]:
+        cfg = self.config
+        obs = data["obs"][idx]
+        masks = data["masks"][idx]
+        actions = data["actions"][idx]
+        logp_old = data["log_probs"][idx]
+        adv = data["advantages"][idx]
+
+        logits = self.policy(obs, masks)
+        log_probs = masked_log_softmax(logits, masks)
+        logp = log_prob_of(log_probs, actions)
+
+        ratio = (logp - Tensor(logp_old)).exp()
+        adv_t = Tensor(adv)
+        clipped = ratio.clip(1.0 - cfg.clip_ratio, 1.0 + cfg.clip_ratio) * adv_t
+        surrogate = (ratio * adv_t).minimum(clipped)
+        loss = -surrogate.mean()
+        ent = entropy(log_probs)
+        if cfg.entropy_coef > 0:
+            loss = loss - cfg.entropy_coef * ent
+
+        self.pi_optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(self.pi_optimizer.params, cfg.max_grad_norm)
+        self.pi_optimizer.step()
+
+        kl = float(np.mean(logp_old - logp.numpy()))
+        return float(loss.item()), kl, float(ent.item())
+
+    def _value_step(self, data: dict[str, np.ndarray], idx: np.ndarray) -> float:
+        obs = data["obs"][idx]
+        returns = Tensor(data["returns"][idx])
+        values = self.value(obs)
+        loss = ((values - returns) ** 2.0).mean()
+        self.v_optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(self.v_optimizer.params, self.config.max_grad_norm)
+        self.v_optimizer.step()
+        return float(loss.item())

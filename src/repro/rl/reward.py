@@ -1,0 +1,58 @@
+"""Reward functions (paper §IV-A and §V-F).
+
+"Reward is a function addressing a user-given optimization goal": for a
+minimise-metric like bounded slowdown the reward is its negation; for
+utilization the reward is the metric itself.  Fairness goals aggregate a
+per-user metric (e.g. ``Maximal`` average bounded slowdown over users).
+
+Reward functions have signature ``f(completed_jobs, n_procs) -> float``,
+evaluated once at the end of a scheduled sequence, and are oriented so
+**higher is always better** — the environment hands them to PPO unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.sim.metrics import METRICS, metric_by_name
+from repro.workloads.job import Job
+
+__all__ = ["RewardFn", "make_reward", "combine_rewards", "reward_names"]
+
+RewardFn = Callable[[Sequence[Job], int], float]
+
+
+def make_reward(metric: str = "bsld") -> RewardFn:
+    """Reward for one named metric (see :data:`repro.sim.metrics.METRICS`).
+
+    Examples: ``make_reward("bsld")`` → ``-average_bounded_slowdown``;
+    ``make_reward("util")`` → ``+resource_utilization``;
+    ``make_reward("fair-bsld-max")`` → the §V-F Maximal-fairness goal.
+    """
+    fn, higher_is_better = metric_by_name(metric)
+    sign = 1.0 if higher_is_better else -1.0
+
+    def reward(jobs: Sequence[Job], n_procs: int) -> float:
+        return sign * fn(jobs, n_procs)
+
+    reward.__name__ = f"reward_{metric.replace('-', '_')}"
+    return reward
+
+
+def combine_rewards(weighted: dict[str, float]) -> RewardFn:
+    """Weighted sum of named rewards — the paper's "combined scheduling
+    metrics" direction (e.g. minimise slowdown *and* maximise utilization:
+    ``combine_rewards({"bsld": 1.0, "util": 100.0})``)."""
+    if not weighted:
+        raise ValueError("need at least one metric")
+    parts = [(make_reward(name), weight) for name, weight in weighted.items()]
+
+    def reward(jobs: Sequence[Job], n_procs: int) -> float:
+        return sum(weight * fn(jobs, n_procs) for fn, weight in parts)
+
+    return reward
+
+
+def reward_names() -> list[str]:
+    """All metric names accepted by :func:`make_reward`."""
+    return sorted(METRICS)

@@ -1,0 +1,277 @@
+"""The RLScheduler training loop (paper §V-A).
+
+Per epoch: sample ``trajectories_per_epoch`` job sequences of
+``trajectory_length`` continuous jobs from the trace, roll each through
+SchedGym with the current (stochastic) policy, then run the PPO update.
+With trajectory filtering enabled, the first ``filter_phase1_fraction`` of
+epochs trains only on sequences whose SJF-probe metric falls inside the
+fitted range (two-step schedule of §IV-C); the remaining epochs see
+everything.
+
+The per-epoch mean metric values form the training curves of
+Figs. 8-13.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import EnvConfig, PPOConfig, TrainConfig
+from repro.nn import Module, ValueMLP, make_policy
+from repro.schedulers.rl_scheduler import RLSchedulerPolicy
+from repro.sim.env import SchedGym
+from repro.sim.metrics import metric_by_name
+from repro.workloads.sampler import SequenceSampler
+from repro.workloads.swf import SWFTrace
+
+from .buffer import TrajectoryBuffer
+from .filtering import TrajectoryFilter
+from .ppo import PPOAgent, UpdateStats
+from .reward import make_reward
+
+__all__ = ["EpochRecord", "TrainingResult", "Trainer", "train"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One point of a training curve."""
+
+    epoch: int
+    mean_metric: float          # raw metric (e.g. average bounded slowdown)
+    mean_reward: float          # signed reward the agent maximises
+    stats: UpdateStats
+    n_rejected: int             # sequences rejected by the trajectory filter
+    wall_time: float            # seconds spent in this epoch
+    filtered_phase: bool
+    val_reward: float = float("nan")  # greedy-policy reward on held-out seqs
+
+
+@dataclass
+class TrainingResult:
+    """Everything a training run produced."""
+
+    trace_name: str
+    metric: str
+    policy_preset: str
+    curve: list[EpochRecord] = field(default_factory=list)
+    policy: Module | None = None
+    value: Module | None = None
+    n_procs: int = 0
+    env_config: EnvConfig | None = None
+    best_policy_state: dict | None = None  # snapshot of the best epoch
+    best_epoch: int = -1
+
+    def metric_curve(self) -> np.ndarray:
+        """Per-epoch mean metric values (the Fig. 10-13 y-axis)."""
+        return np.array([r.mean_metric for r in self.curve])
+
+    def reward_curve(self) -> np.ndarray:
+        """Per-epoch mean rewards (the Fig. 8 y-axis, −bsld)."""
+        return np.array([r.mean_reward for r in self.curve])
+
+    def as_scheduler(
+        self, name: str | None = None, use_best: bool = True
+    ) -> RLSchedulerPolicy:
+        """Wrap the trained policy for greedy deployment (Table V-XI).
+
+        ``use_best`` restores the snapshot from the best training epoch
+        (by mean reward); per-epoch stochasticity means the *final* epoch
+        is not necessarily the strongest policy.
+        """
+        if self.policy is None:
+            raise RuntimeError("training has not run yet")
+        if use_best and self.best_policy_state is not None:
+            self.policy.load_state_dict(self.best_policy_state)
+        return RLSchedulerPolicy(
+            self.policy,
+            n_procs=self.n_procs,
+            env_config=self.env_config,
+            preset=self.policy_preset,
+            name=name or f"RL-{self.trace_name}",
+        )
+
+
+class Trainer:
+    """Drives PPO training of a scheduling policy on one trace."""
+
+    #: give up resampling a filtered sequence after this many rejections
+    MAX_FILTER_TRIES = 64
+
+    def __init__(
+        self,
+        trace: SWFTrace,
+        metric: str = "bsld",
+        policy_preset: str = "kernel",
+        env_config: EnvConfig | None = None,
+        ppo_config: PPOConfig | None = None,
+        train_config: TrainConfig | None = None,
+        policy: Module | None = None,
+    ):
+        self.trace = trace
+        self.metric = metric
+        self.policy_preset = policy_preset
+        self.env_config = env_config or EnvConfig()
+        self.ppo_config = ppo_config or PPOConfig()
+        self.train_config = train_config or TrainConfig()
+
+        _, self._higher_is_better = metric_by_name(metric)
+        self.env = SchedGym(
+            trace.max_procs, make_reward(metric), config=self.env_config
+        )
+        m, f = self.env_config.max_obsv_size, self.env_config.job_features
+        seed = self.train_config.seed
+        self.policy = policy or make_policy(policy_preset, m, f, seed=seed)
+        self.value = ValueMLP(m, f, seed=seed + 1)
+        self.agent = PPOAgent(self.policy, self.value, self.ppo_config, seed=seed)
+        self.sampler = SequenceSampler(
+            trace, self.train_config.trajectory_length, seed=seed
+        )
+        self._sample_rng = np.random.default_rng(seed + 2)
+
+        # Terminal rewards span orders of magnitude across metrics (bsld in
+        # the hundreds, util in [0,1]).  The value network regresses raw
+        # returns, so rescale rewards to unit-ish magnitude using the first
+        # epoch's spread; a constant rescale leaves the (normalised)
+        # advantages — hence the policy updates — unchanged, but keeps the
+        # value regression well-conditioned.
+        self._reward_scale: float | None = None
+
+        # Held-out validation sequences for checkpoint selection: the
+        # deployed policy acts *greedily*, so the best checkpoint must be
+        # chosen by greedy performance, not by the stochastic rollout
+        # reward (they can diverge substantially early in training).
+        val_sampler = SequenceSampler(
+            trace, self.train_config.trajectory_length, seed=seed + 4
+        )
+        self._val_sequences = val_sampler.sample_many(3)
+
+        self.filter: TrajectoryFilter | None = None
+        if self.train_config.use_trajectory_filter:
+            self.filter = TrajectoryFilter(
+                metric=metric, backfill=self.env_config.backfill
+            )
+            self.filter.fit(
+                trace,
+                n_samples=self.train_config.filter_probe_samples,
+                sequence_length=self.train_config.trajectory_length,
+                seed=seed + 3,
+            )
+
+    # ------------------------------------------------------------------
+    def _sample_sequence(self, filtered: bool) -> tuple[list, int]:
+        """A training sequence, honouring the filter in phase 1."""
+        rejected = 0
+        while True:
+            jobs = self.sampler.sample()
+            if not filtered or self.filter is None:
+                return jobs, rejected
+            if self.filter.accepts(jobs, self.trace.max_procs):
+                return jobs, rejected
+            rejected += 1
+            if rejected >= self.MAX_FILTER_TRIES:
+                # Pathological trace/filter combination: train on the last
+                # sample rather than spinning forever.
+                return jobs, rejected
+
+    def _rollout(self, jobs, buffer: TrajectoryBuffer) -> float:
+        """One trajectory through SchedGym; returns the raw terminal reward."""
+        obs, mask = self.env.reset(jobs)
+        while True:
+            action, log_prob, value = self.agent.act(obs, mask)
+            buffer.store(obs, mask, action, log_prob, value)
+            result = self.env.step(action)
+            if result.done:
+                scale = self._reward_scale or 1.0
+                buffer.end_episode(result.reward / scale)
+                return result.reward
+            obs, mask = result.observation, result.action_mask
+
+    def run_epoch(self, epoch: int) -> EpochRecord:
+        cfg = self.train_config
+        phase1_epochs = int(round(cfg.epochs * cfg.filter_phase1_fraction))
+        filtered = self.filter is not None and epoch < phase1_epochs
+
+        start = time.perf_counter()
+        buffer = TrajectoryBuffer(
+            gamma=self.ppo_config.gamma, lam=self.ppo_config.lam
+        )
+        if self._reward_scale is None:
+            # Calibrate the reward scale with one throwaway rollout so the
+            # very first update already sees well-conditioned value targets.
+            probe_jobs, _ = self._sample_sequence(filtered)
+            probe_reward = self._rollout(probe_jobs, TrajectoryBuffer())
+            self._reward_scale = max(abs(probe_reward), 1e-6)
+
+        rewards, total_rejected = [], 0
+        for _ in range(cfg.trajectories_per_epoch):
+            jobs, rejected = self._sample_sequence(filtered)
+            total_rejected += rejected
+            rewards.append(self._rollout(jobs, buffer))
+
+        stats = self.agent.update(buffer.get())
+        mean_reward = float(np.mean(rewards))
+        sign = 1.0 if self._higher_is_better else -1.0
+        return EpochRecord(
+            epoch=epoch,
+            mean_metric=sign * mean_reward,
+            mean_reward=mean_reward,
+            stats=stats,
+            n_rejected=total_rejected,
+            wall_time=time.perf_counter() - start,
+            filtered_phase=filtered,
+            val_reward=self._validate(),
+        )
+
+    def _validate(self) -> float:
+        """Greedy-policy reward over the held-out validation sequences."""
+        rewards = []
+        for jobs in self._val_sequences:
+            obs, mask = self.env.reset([j.copy() for j in jobs])
+            while True:
+                result = self.env.step(self.agent.act_greedy(obs, mask))
+                if result.done:
+                    rewards.append(result.reward)
+                    break
+                obs, mask = result.observation, result.action_mask
+        return float(np.mean(rewards))
+
+    def train(self, progress: bool = False) -> TrainingResult:
+        result = TrainingResult(
+            trace_name=self.trace.name,
+            metric=self.metric,
+            policy_preset=self.policy_preset,
+            policy=self.policy,
+            value=self.value,
+            n_procs=self.trace.max_procs,
+            env_config=self.env_config,
+        )
+        best_reward = -np.inf
+        for epoch in range(self.train_config.epochs):
+            record = self.run_epoch(epoch)
+            result.curve.append(record)
+            if record.val_reward > best_reward:
+                best_reward = record.val_reward
+                result.best_policy_state = self.policy.state_dict()
+                result.best_epoch = epoch
+            if progress:
+                print(
+                    f"epoch {epoch:3d}  metric={record.mean_metric:10.2f}  "
+                    f"kl={record.stats.kl:.4f}  "
+                    f"pi_iters={record.stats.pi_iters_run}  "
+                    f"{record.wall_time:5.1f}s"
+                    + ("  [filtered]" if record.filtered_phase else "")
+                )
+        return result
+
+
+def train(
+    trace: SWFTrace,
+    metric: str = "bsld",
+    policy_preset: str = "kernel",
+    **kwargs,
+) -> TrainingResult:
+    """One-call training entry point (see :class:`Trainer` for knobs)."""
+    return Trainer(trace, metric=metric, policy_preset=policy_preset, **kwargs).train()

@@ -1,0 +1,29 @@
+"""Scheduling policies: Table III heuristics plus the RL policy wrapper."""
+
+from .base import Scheduler
+from .heuristics import (
+    F1,
+    FCFS,
+    HEURISTICS,
+    LJF,
+    SJF,
+    UNICEP,
+    WFP3,
+    SmallestFirst,
+    make_scheduler,
+)
+from .rl_scheduler import RLSchedulerPolicy
+
+__all__ = [
+    "Scheduler",
+    "FCFS",
+    "SJF",
+    "LJF",
+    "SmallestFirst",
+    "WFP3",
+    "UNICEP",
+    "F1",
+    "HEURISTICS",
+    "make_scheduler",
+    "RLSchedulerPolicy",
+]

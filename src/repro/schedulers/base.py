@@ -1,0 +1,39 @@
+"""Scheduler interface.
+
+A scheduler is a *priority function* (paper §I): given a waiting job, the
+current time, and the cluster state, it returns a score — the **lowest**
+score is scheduled first (Table III convention; FCFS scores by submit
+time).  :meth:`Scheduler.select` is the generic argmin with deterministic
+job-id tie-breaking; RL policies override it to run the policy network on
+the whole queue at once.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.sim.cluster import Cluster
+from repro.workloads.job import Job
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(abc.ABC):
+    """Base class for all scheduling policies."""
+
+    #: human-readable name used in benchmark tables
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def score(self, job: Job, now: float, cluster: Cluster) -> float:
+        """Priority value of ``job``; lower is scheduled first."""
+
+    def select(self, pending: Sequence[Job], now: float, cluster: Cluster) -> Job:
+        """Pick the next job from the waiting queue."""
+        if not pending:
+            raise ValueError("cannot select from an empty queue")
+        return min(pending, key=lambda j: (self.score(j, now, cluster), j.job_id))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

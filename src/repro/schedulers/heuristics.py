@@ -1,0 +1,135 @@
+"""Heuristic priority-function schedulers — Table III of the paper, exactly:
+
+==========  ===========================================================
+FCFS        ``score(t) = s_t``
+SJF         ``score(t) = r_t``
+WFP3        ``score(t) = -(w_t / r_t)^3 * n_t``
+UNICEP      ``score(t) = -w_t / (log2(n_t) * r_t)``
+F1          ``score(t) = log10(r_t) * n_t + 870 * log10(s_t)``
+==========  ===========================================================
+
+where ``s_t`` is submit time, ``r_t`` requested runtime, ``n_t`` requested
+processors, and ``w_t = now - s_t`` the elapsed waiting time.  The engine
+selects the job with the **minimum** score.
+
+Numerical guards (the formulas are singular at the boundaries of real
+traces): ``log2(n_t)`` uses ``max(n_t, 2)`` so serial jobs don't divide by
+zero, and ``log10(s_t)`` uses ``max(s_t, 1)`` because sampled sequences are
+re-based to start at t = 0.  Both guards only affect jobs at the singular
+points and keep the orderings the published formulas imply.
+
+``LJF`` and ``SmallestFirst`` are included for ablations (§II-A3 mentions
+Smallest Job First as a classic utilization-oriented policy).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.cluster import Cluster
+from repro.workloads.job import Job
+
+from .base import Scheduler
+
+__all__ = [
+    "FCFS",
+    "SJF",
+    "LJF",
+    "SmallestFirst",
+    "WFP3",
+    "UNICEP",
+    "F1",
+    "HEURISTICS",
+    "make_scheduler",
+]
+
+
+class FCFS(Scheduler):
+    """First Come First Served."""
+
+    name = "FCFS"
+
+    def score(self, job: Job, now: float, cluster: Cluster) -> float:
+        return job.submit_time
+
+
+class SJF(Scheduler):
+    """Shortest Job First (by requested runtime — actual is invisible)."""
+
+    name = "SJF"
+
+    def score(self, job: Job, now: float, cluster: Cluster) -> float:
+        return job.requested_time
+
+
+class LJF(Scheduler):
+    """Longest Job First (ablation baseline)."""
+
+    name = "LJF"
+
+    def score(self, job: Job, now: float, cluster: Cluster) -> float:
+        return -job.requested_time
+
+
+class SmallestFirst(Scheduler):
+    """Smallest Job First — classic utilization-oriented policy (§II-A3)."""
+
+    name = "Smallest"
+
+    def score(self, job: Job, now: float, cluster: Cluster) -> float:
+        return job.requested_procs
+
+
+class WFP3(Scheduler):
+    """WFP3 (Tang et al. [3]): favours long-waiting, short, narrow jobs."""
+
+    name = "WFP3"
+
+    def score(self, job: Job, now: float, cluster: Cluster) -> float:
+        wait = max(now - job.submit_time, 0.0)
+        r = max(job.requested_time, 1.0)
+        return -((wait / r) ** 3) * job.requested_procs
+
+
+class UNICEP(Scheduler):
+    """UNICEP (Tang et al. [3]) — `UNICEF` in some texts."""
+
+    name = "UNICEP"
+
+    def score(self, job: Job, now: float, cluster: Cluster) -> float:
+        wait = max(now - job.submit_time, 0.0)
+        r = max(job.requested_time, 1.0)
+        denom = math.log2(max(job.requested_procs, 2)) * r
+        return -wait / denom
+
+
+class F1(Scheduler):
+    """F1 from Carastan-Santos & de Camargo [4] — the state-of-the-art
+    regression-fit policy for minimising average bounded slowdown."""
+
+    name = "F1"
+
+    def score(self, job: Job, now: float, cluster: Cluster) -> float:
+        r = max(job.requested_time, 1.0)
+        s = max(job.submit_time, 1.0)
+        return math.log10(r) * job.requested_procs + 870.0 * math.log10(s)
+
+
+#: Registry of the paper's five baselines, in Table III order.
+HEURISTICS: dict[str, type[Scheduler]] = {
+    "FCFS": FCFS,
+    "SJF": SJF,
+    "WFP3": WFP3,
+    "UNICEP": UNICEP,
+    "F1": F1,
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a heuristic scheduler by Table III name."""
+    try:
+        return HEURISTICS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; known: {sorted(HEURISTICS)}"
+        ) from None

@@ -1,0 +1,105 @@
+"""Deploying a trained policy network as a drop-in Scheduler.
+
+At test time the paper's agent "is directly used to select job with the
+highest probability to ensure the best decision. There is no exploration
+anymore" — so :class:`RLSchedulerPolicy` runs the policy network greedily
+over the same observation the training environment produced and returns
+the argmax job.
+
+Models persist as a single ``.npz``: the network weights plus the metadata
+needed to rebuild the network (preset name, observation shape), so
+``RLSchedulerPolicy.load(path)`` round-trips without external config.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import EnvConfig
+from repro.nn import Module, make_policy, masked_log_softmax, no_grad
+from repro.sim.cluster import Cluster
+from repro.sim.env import build_observation
+from repro.workloads.job import Job
+
+from .base import Scheduler
+
+__all__ = ["RLSchedulerPolicy"]
+
+
+class RLSchedulerPolicy(Scheduler):
+    """A trained policy network acting as a scheduler."""
+
+    name = "RL"
+
+    def __init__(
+        self,
+        policy: Module,
+        n_procs: int,
+        env_config: EnvConfig | None = None,
+        preset: str = "kernel",
+        name: str | None = None,
+    ):
+        if n_procs <= 0:
+            raise ValueError("n_procs must be positive")
+        self.policy = policy
+        self.n_procs = n_procs
+        self.env_config = env_config or EnvConfig()
+        self.preset = preset
+        if name is not None:
+            self.name = name
+
+    # ------------------------------------------------------------------
+    def score(self, job: Job, now: float, cluster: Cluster) -> float:
+        raise RuntimeError(
+            "RL policies score the whole queue jointly; use select()"
+        )
+
+    def select(self, pending: Sequence[Job], now: float, cluster: Cluster) -> Job:
+        if not pending:
+            raise ValueError("cannot select from an empty queue")
+        obs, mask, visible = build_observation(
+            pending, now, cluster.free_procs, self.n_procs, self.env_config
+        )
+        with no_grad():
+            logits = self.policy(obs[None], mask[None])
+            log_probs = masked_log_softmax(logits, mask[None]).numpy()[0]
+        return visible[int(np.argmax(log_probs))]
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        meta = {
+            "preset": self.preset,
+            "n_procs": self.n_procs,
+            "max_obsv_size": self.env_config.max_obsv_size,
+            "job_features": self.env_config.job_features,
+            "name": self.name,
+        }
+        state = self.policy.state_dict()
+        state["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez(path, **state)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RLSchedulerPolicy":
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["__meta__"]).decode())
+            weights = {k: data[k] for k in data.files if k != "__meta__"}
+        policy = make_policy(
+            meta["preset"], meta["max_obsv_size"], meta["job_features"]
+        )
+        policy.load_state_dict(weights)
+        env_config = EnvConfig(
+            max_obsv_size=meta["max_obsv_size"], job_features=meta["job_features"]
+        )
+        return cls(
+            policy,
+            n_procs=meta["n_procs"],
+            env_config=env_config,
+            preset=meta["preset"],
+            name=meta.get("name"),
+        )

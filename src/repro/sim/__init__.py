@@ -1,0 +1,58 @@
+"""Cluster simulation substrate: resource model, event engine, EASY
+backfilling, scheduling metrics, and the SchedGym RL environment."""
+
+from .cluster import Cluster
+from .events import Event, EventKind, EventQueue
+from .backfill import (
+    backfill_candidates,
+    conservative_backfill_candidates,
+    shadow_time_and_extra,
+)
+from .simulator import SchedulingEngine, run_scheduler
+from .env import SchedGym, StepResult
+from .metrics import (
+    BSLD_THRESHOLD,
+    METRICS,
+    average_bounded_slowdown,
+    average_response_time,
+    average_slowdown,
+    average_waiting_time,
+    fairness_aggregate,
+    job_bounded_slowdown,
+    job_response_time,
+    job_slowdown,
+    job_waiting_time,
+    makespan,
+    metric_by_name,
+    per_user_metric,
+    resource_utilization,
+)
+
+__all__ = [
+    "Cluster",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "backfill_candidates",
+    "conservative_backfill_candidates",
+    "shadow_time_and_extra",
+    "SchedulingEngine",
+    "run_scheduler",
+    "SchedGym",
+    "StepResult",
+    "BSLD_THRESHOLD",
+    "METRICS",
+    "average_bounded_slowdown",
+    "average_response_time",
+    "average_slowdown",
+    "average_waiting_time",
+    "fairness_aggregate",
+    "job_bounded_slowdown",
+    "job_response_time",
+    "job_slowdown",
+    "job_waiting_time",
+    "makespan",
+    "metric_by_name",
+    "per_user_metric",
+    "resource_utilization",
+]

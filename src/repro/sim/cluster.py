@@ -1,0 +1,80 @@
+"""Homogeneous cluster resource model.
+
+The paper targets homogeneous HPC platforms, so resource state reduces to a
+count of free processors.  The class still tracks per-job allocations so
+that invariants (no double-release, conservation of processors) are checked
+at every transition — errors in resource accounting would silently corrupt
+every scheduling metric downstream.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.job import Job
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """Processor accounting for a homogeneous machine."""
+
+    def __init__(self, n_procs: int):
+        if n_procs <= 0:
+            raise ValueError(f"cluster needs a positive processor count, got {n_procs}")
+        self.n_procs = n_procs
+        self.free_procs = n_procs
+        self._allocations: dict[int, int] = {}  # job_id -> procs held
+
+    # ------------------------------------------------------------------
+    def can_allocate(self, job: Job) -> bool:
+        """True if the job's request fits in the currently free processors."""
+        return job.requested_procs <= self.free_procs
+
+    def fits(self, n_procs: int) -> bool:
+        return n_procs <= self.free_procs
+
+    def allocate(self, job: Job) -> None:
+        if job.requested_procs > self.n_procs:
+            raise ValueError(
+                f"job {job.job_id} requests {job.requested_procs} procs; "
+                f"cluster only has {self.n_procs}"
+            )
+        if job.job_id in self._allocations:
+            raise RuntimeError(f"job {job.job_id} is already allocated")
+        if not self.can_allocate(job):
+            raise RuntimeError(
+                f"job {job.job_id} needs {job.requested_procs} procs; "
+                f"only {self.free_procs} free"
+            )
+        self.free_procs -= job.requested_procs
+        self._allocations[job.job_id] = job.requested_procs
+
+    def release(self, job: Job) -> None:
+        held = self._allocations.pop(job.job_id, None)
+        if held is None:
+            raise RuntimeError(f"job {job.job_id} holds no allocation")
+        self.free_procs += held
+        assert self.free_procs <= self.n_procs, "processor conservation violated"
+
+    # ------------------------------------------------------------------
+    @property
+    def used_procs(self) -> int:
+        return self.n_procs - self.free_procs
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous fraction of processors in use."""
+        return self.used_procs / self.n_procs
+
+    @property
+    def n_running(self) -> int:
+        return len(self._allocations)
+
+    def reset(self) -> None:
+        self.free_procs = self.n_procs
+        self._allocations.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(procs={self.n_procs}, free={self.free_procs}, "
+            f"running={self.n_running})"
+        )

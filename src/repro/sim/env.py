@@ -1,0 +1,189 @@
+"""SchedGym: the gym-style RL environment (paper §IV-D).
+
+Implements the OpenAI-Gym ``reset()/step()`` protocol without the gym
+dependency.  Each step presents up to ``MAX_OBSV_SIZE`` waiting jobs as a
+fixed-size observation matrix; the action is the index of the job to
+schedule next.
+
+Observation (one row per visible slot, ``JOB_FEATURES = 7`` columns):
+
+====  =======================================================
+col   feature (all in [0, 1])
+====  =======================================================
+0     waiting time so far, saturating ``w / (w + wait_scale)``
+1     requested runtime, ``log(r) / log(runtime_scale)``
+2     requested processors, ``n / cluster_size``
+3     free processors fraction (system state, same each row)
+4     can-run-now flag (request fits free processors)
+5     user id, hashed to [0, 1) (fairness signal)
+6     validity flag: 1 = real job, 0 = zero-padded slot
+====  =======================================================
+
+Pending jobs are ordered FCFS and cut off at ``MAX_OBSV_SIZE`` (paper:
+"we simply leverage FCFS ... and select the top MAX_OBSV_SIZE jobs");
+missing slots are zero rows.  ``action_mask`` marks the real slots.
+
+Rewards are 0 on every step except the last, where the negative (for
+minimise-goals) or positive (utilization) sequence metric is returned —
+"we just return rewards 0 to each action and calculate the accurate reward
+for the entire sequence at the last action".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.config import EnvConfig
+from repro.workloads.job import Job
+
+from .simulator import SchedulingEngine
+
+__all__ = ["SchedGym", "StepResult", "build_observation"]
+
+
+def build_observation(
+    pending: Sequence[Job],
+    now: float,
+    free_procs: int,
+    n_procs: int,
+    config: EnvConfig,
+) -> tuple[np.ndarray, np.ndarray, list[Job]]:
+    """Fixed-size observation of a waiting queue.
+
+    Shared by :class:`SchedGym` and the trained-policy scheduler wrapper so
+    training and deployment see byte-identical features.  Returns
+    ``(observation, action_mask, visible_jobs)`` where ``visible_jobs[i]``
+    is the job row ``i`` describes.
+    """
+    visible = sorted(pending, key=lambda j: (j.submit_time, j.job_id))
+    visible = visible[: config.max_obsv_size]
+
+    obs = np.zeros(config.observation_shape, dtype=np.float32)
+    free_frac = free_procs / n_procs
+    log_cap = math.log(config.runtime_scale)
+    for i, job in enumerate(visible):
+        wait = now - job.submit_time
+        obs[i, 0] = wait / (wait + config.wait_scale)
+        obs[i, 1] = min(math.log(max(job.requested_time, 1.0)) / log_cap, 1.0)
+        obs[i, 2] = job.requested_procs / n_procs
+        obs[i, 3] = free_frac
+        obs[i, 4] = 1.0 if job.requested_procs <= free_procs else 0.0
+        obs[i, 5] = (hash(job.user_id) % 1024) / 1024.0
+        obs[i, 6] = 1.0
+
+    mask = np.zeros(config.max_obsv_size, dtype=bool)
+    mask[: len(visible)] = True
+    return obs, mask, visible
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """What ``step`` returns: observation, reward, done flag, action mask."""
+
+    observation: np.ndarray
+    reward: float
+    done: bool
+    action_mask: np.ndarray
+    info: dict
+
+
+class SchedGym:
+    """Gym-style environment over :class:`SchedulingEngine`.
+
+    Parameters
+    ----------
+    n_procs:
+        cluster size.
+    reward_fn:
+        ``f(completed_jobs, n_procs) -> float`` evaluated once at episode
+        end; should already carry the sign convention (higher = better).
+        See :mod:`repro.rl.reward` for builders.
+    config:
+        observation-space and backfill settings.
+    """
+
+    def __init__(
+        self,
+        n_procs: int,
+        reward_fn: Callable[[Sequence[Job], int], float],
+        config: EnvConfig | None = None,
+    ):
+        if n_procs <= 0:
+            raise ValueError("n_procs must be positive")
+        self.n_procs = n_procs
+        self.reward_fn = reward_fn
+        self.config = config or EnvConfig()
+        self._engine: SchedulingEngine | None = None
+        self._visible: list[Job] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def observation_shape(self) -> tuple[int, int]:
+        return self.config.observation_shape
+
+    @property
+    def n_actions(self) -> int:
+        return self.config.max_obsv_size
+
+    @property
+    def engine(self) -> SchedulingEngine:
+        if self._engine is None:
+            raise RuntimeError("call reset() before stepping the environment")
+        return self._engine
+
+    # ------------------------------------------------------------------
+    def reset(self, jobs: Sequence[Job]) -> tuple[np.ndarray, np.ndarray]:
+        """Start an episode over ``jobs``; returns (observation, action_mask)."""
+        self._engine = SchedulingEngine(
+            jobs, self.n_procs, backfill=self.config.backfill
+        )
+        has_decision = self._engine.advance_until_decision()
+        assert has_decision, "a non-empty job sequence must yield a decision"
+        return self._observe()
+
+    def step(self, action: int) -> StepResult:
+        """Schedule the job in visible slot ``action``."""
+        engine = self.engine
+        if engine.done:
+            raise RuntimeError("episode is over; call reset()")
+        if not 0 <= action < self.config.max_obsv_size:
+            raise ValueError(
+                f"action {action} out of range [0, {self.config.max_obsv_size})"
+            )
+        if action >= len(self._visible):
+            raise ValueError(
+                f"action {action} points at a padded slot "
+                f"({len(self._visible)} jobs visible); respect the action mask"
+            )
+        engine.commit(self._visible[action])
+
+        if engine.advance_until_decision():
+            obs, mask = self._observe()
+            return StepResult(obs, 0.0, False, mask, {"now": engine.now})
+
+        # Episode over: every job completed; emit the sequence reward.
+        assert engine.done
+        reward = float(self.reward_fn(engine.completed, self.n_procs))
+        obs = np.zeros(self.config.observation_shape, dtype=np.float32)
+        mask = np.zeros(self.config.max_obsv_size, dtype=bool)
+        return StepResult(
+            obs, reward, True, mask, {"now": engine.now, "completed": engine.completed}
+        )
+
+    # ------------------------------------------------------------------
+    def _observe(self) -> tuple[np.ndarray, np.ndarray]:
+        """Build the fixed-size observation and its action mask."""
+        engine = self.engine
+        obs, mask, visible = build_observation(
+            engine.pending,
+            engine.now,
+            engine.cluster.free_procs,
+            self.n_procs,
+            self.config,
+        )
+        self._visible = visible
+        return obs, mask

@@ -1,0 +1,63 @@
+"""Typed event heap for the discrete-event engine.
+
+Deterministic ordering matters for reproducibility: ties on time are broken
+by event kind (finishes before arrivals, so resources freed at time t are
+visible to a job arriving at t) and then by job id.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.workloads.job import Job
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(IntEnum):
+    """Lower value sorts first on a time tie."""
+
+    FINISH = 0
+    ARRIVAL = 1
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    time: float
+    kind: EventKind
+    job_id: int
+    job: Job = field(compare=False)
+
+
+class EventQueue:
+    """Min-heap of events ordered by (time, kind, job_id)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+
+    def push(self, time: float, kind: EventKind, job: Job) -> None:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        heapq.heappush(self._heap, Event(time, kind, job.job_id, job))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        if not self._heap:
+            raise IndexError("peek at empty event queue")
+        return self._heap[0]
+
+    @property
+    def next_time(self) -> float | None:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

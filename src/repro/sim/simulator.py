@@ -1,0 +1,175 @@
+"""Discrete-event scheduling engine — the heart of SchedGym (paper §IV-D).
+
+The engine replays a job sequence against a homogeneous cluster, asking a
+decision source (heuristic scheduler or RL agent) to pick one waiting job
+at each scheduling point.  Semantics follow the paper's SchedGym:
+
+* the cluster starts idle; jobs arrive per their submit times;
+* once a job is *selected* the engine commits to it: if it cannot start
+  immediately, the engine advances time (completing running jobs, admitting
+  arrivals) until it fits — optionally EASY-backfilling other waiting jobs
+  that cannot delay it;
+* actual runtimes come from the trace and are hidden from deciders; only
+  requested runtimes are visible (used for backfill planning);
+* the episode ends when every job in the sequence has completed.
+
+:class:`SchedulingEngine` is the low-level stepper shared by
+:func:`run_scheduler` (heuristics / trained policies, used by all the table
+benches) and :class:`repro.sim.env.SchedGym` (the RL training env).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.workloads.job import Job
+
+from .backfill import backfill_candidates, conservative_backfill_candidates
+from .cluster import Cluster
+from .events import EventKind, EventQueue
+
+__all__ = ["SchedulingEngine", "run_scheduler"]
+
+
+class SchedulingEngine:
+    """Event-driven stepper over one job sequence.
+
+    The driver loop is::
+
+        engine = SchedulingEngine(jobs, n_procs, backfill=True)
+        engine.advance_until_decision()
+        while not engine.done:
+            job = <pick one of engine.pending>
+            engine.commit(job)
+            engine.advance_until_decision()
+        completed = engine.completed
+    """
+
+    #: accepted backfilling modes (True is an alias for "easy")
+    BACKFILL_MODES = (False, True, "easy", "conservative")
+
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        n_procs: int,
+        backfill: bool | str = False,
+    ):
+        if not jobs:
+            raise ValueError("cannot simulate an empty job sequence")
+        if backfill not in self.BACKFILL_MODES:
+            raise ValueError(
+                f"backfill must be one of {self.BACKFILL_MODES}, got {backfill!r}"
+            )
+        self.jobs = [j.copy() for j in sorted(jobs, key=lambda x: (x.submit_time, x.job_id))]
+        for j in self.jobs:
+            if j.requested_procs > n_procs:
+                raise ValueError(
+                    f"job {j.job_id} requests {j.requested_procs} procs but the "
+                    f"cluster has {n_procs}"
+                )
+        self.cluster = Cluster(n_procs)
+        self.backfill = backfill
+        self.now = 0.0
+        self.pending: list[Job] = []
+        self.running: list[Job] = []
+        self.completed: list[Job] = []
+        self._events = EventQueue()
+        for j in self.jobs:
+            self._events.push(j.submit_time, EventKind.ARRIVAL, j)
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return len(self.completed) == len(self.jobs)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    # ------------------------------------------------------------------
+    def _start(self, job: Job) -> None:
+        """Allocate and launch ``job`` at the current time."""
+        self.cluster.allocate(job)
+        job.start_time = self.now
+        self.pending.remove(job)
+        self.running.append(job)
+        self._events.push(job.end_time, EventKind.FINISH, job)
+
+    def _process_next_event(self) -> None:
+        """Advance the clock to the next event and apply it."""
+        event = self._events.pop()
+        assert event.time >= self.now, "event queue went backwards in time"
+        self.now = event.time
+        if event.kind is EventKind.FINISH:
+            self.cluster.release(event.job)
+            self.running.remove(event.job)
+            self.completed.append(event.job)
+        else:
+            self.pending.append(event.job)
+
+    def advance_until_decision(self) -> bool:
+        """Run events until a scheduling decision is needed.
+
+        Returns True if there is a decision to make (pending non-empty),
+        False if the episode is over.
+        """
+        while not self.pending:
+            if not self._events:
+                return False  # nothing pending, nothing queued: done
+            self._process_next_event()
+        return True
+
+    def commit(self, job: Job) -> None:
+        """Commit to starting ``job``: wait (and backfill) until it fits."""
+        if job not in self.pending:
+            raise ValueError(f"job {job.job_id} is not pending")
+        while not self.cluster.can_allocate(job):
+            if self.backfill:
+                for candidate in self._backfill_pass(job):
+                    self._start(candidate)
+                if self.cluster.can_allocate(job):
+                    break
+            if not self._events:
+                raise RuntimeError(
+                    f"deadlock: job {job.job_id} cannot fit and no events remain"
+                )
+            self._process_next_event()
+        self._start(job)
+
+    def _backfill_pass(self, head: Job) -> list[Job]:
+        if self.backfill == "conservative":
+            return conservative_backfill_candidates(
+                head, self.pending, self.running, self.cluster, self.now
+            )
+        return backfill_candidates(
+            head, self.pending, self.running, self.cluster, self.now
+        )
+
+
+def run_scheduler(
+    jobs: Sequence[Job],
+    n_procs: int,
+    scheduler,
+    backfill: bool | str = False,
+) -> list[Job]:
+    """Schedule a whole sequence with a policy; return the completed jobs.
+
+    ``scheduler`` is either an object with ``select(pending, now, cluster)``
+    (any :class:`repro.schedulers.base.Scheduler`, including RL policies) or
+    a bare priority function ``score(job, now, cluster)`` where the *lowest*
+    score is selected first, matching Table III's convention.  Ties break by
+    job id for determinism.
+    """
+    engine = SchedulingEngine(jobs, n_procs, backfill=backfill)
+    select = getattr(scheduler, "select", None)
+    while engine.advance_until_decision():
+        if select is not None:
+            best = select(engine.pending, engine.now, engine.cluster)
+        else:
+            best = min(
+                engine.pending,
+                key=lambda j: (scheduler(j, engine.now, engine.cluster), j.job_id),
+            )
+        engine.commit(best)
+    assert engine.done, "engine stopped before completing all jobs"
+    return engine.completed

@@ -1,0 +1,41 @@
+"""Workload substrate: SWF jobs/traces, the Lublin model, calibrated
+archive-trace generators, characterisation statistics, sequence sampling."""
+
+from .job import Job, SWF_FIELD_NAMES
+from .swf import SWFHeader, SWFTrace, parse_swf, read_swf, write_swf
+from .lublin import LUBLIN_1, LUBLIN_2, LublinParams, generate_lublin_trace
+from .archive import (
+    TRACE_SPECS,
+    ArchiveTraceSpec,
+    available_traces,
+    generate_archive_trace,
+    load_trace,
+)
+from .stats import TraceStats, characterize, interarrival_times, user_job_counts
+from .sampler import SequenceSampler, rebase_jobs, sample_sequence
+
+__all__ = [
+    "Job",
+    "SWF_FIELD_NAMES",
+    "SWFHeader",
+    "SWFTrace",
+    "parse_swf",
+    "read_swf",
+    "write_swf",
+    "LublinParams",
+    "LUBLIN_1",
+    "LUBLIN_2",
+    "generate_lublin_trace",
+    "ArchiveTraceSpec",
+    "TRACE_SPECS",
+    "generate_archive_trace",
+    "load_trace",
+    "available_traces",
+    "TraceStats",
+    "characterize",
+    "interarrival_times",
+    "user_job_counts",
+    "SequenceSampler",
+    "sample_sequence",
+    "rebase_jobs",
+]

@@ -1,0 +1,160 @@
+"""Job model following the Standard Workload Format (SWF) v2.
+
+Every job carries the 18 SWF fields.  The scheduler-facing attributes the
+paper uses (Table I) are exposed under their symbolic names:
+
+==============  ========  =============================================
+SWF field       symbol    meaning
+==============  ========  =============================================
+job_id          id_t      sequential job id
+submit_time     s_t       submission timestamp (seconds)
+requested_procs n_t       number of processors requested
+requested_time  r_t       user runtime estimate / upper bound (seconds)
+requested_mem   m_t       requested memory per processor
+user_id         u_t       submitting user
+group_id        g_t       submitting group
+executable_id   app_t     id of the executable
+==============  ========  =============================================
+
+The *actual* runtime (``run_time``) is known to the simulator but hidden
+from schedulers, matching the paper's SchedGym ("the accurate runtime will
+not be available to the schedulers, instead, only the requested runtime").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Job", "SWF_FIELD_NAMES"]
+
+#: The 18 SWF v2 columns, in file order.
+SWF_FIELD_NAMES = (
+    "job_id",
+    "submit_time",
+    "wait_time",
+    "run_time",
+    "used_procs",
+    "used_avg_cpu",
+    "used_mem",
+    "requested_procs",
+    "requested_time",
+    "requested_mem",
+    "status",
+    "user_id",
+    "group_id",
+    "executable_id",
+    "queue_id",
+    "partition_id",
+    "preceding_job_id",
+    "think_time",
+)
+
+
+@dataclass(slots=True)
+class Job:
+    """A single batch job.
+
+    Only ``job_id``, ``submit_time``, ``run_time`` and ``requested_procs``
+    are required for simulation; everything else defaults to the SWF
+    "unknown" sentinel ``-1``.
+    """
+
+    job_id: int
+    submit_time: float
+    run_time: float
+    requested_procs: int
+    requested_time: float = -1.0
+    requested_mem: float = -1.0
+    user_id: int = -1
+    group_id: int = -1
+    executable_id: int = -1
+    queue_id: int = -1
+    partition_id: int = -1
+    status: int = 1
+    wait_time: float = -1.0
+    used_procs: int = -1
+    used_avg_cpu: float = -1.0
+    used_mem: float = -1.0
+    preceding_job_id: int = -1
+    think_time: float = -1.0
+
+    # --- simulator bookkeeping (not part of SWF) -------------------------
+    start_time: float = field(default=-1.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.requested_procs <= 0:
+            raise ValueError(
+                f"job {self.job_id}: requested_procs must be positive, "
+                f"got {self.requested_procs}"
+            )
+        if self.run_time < 0:
+            raise ValueError(
+                f"job {self.job_id}: run_time must be non-negative, got {self.run_time}"
+            )
+        if self.submit_time < 0:
+            raise ValueError(
+                f"job {self.job_id}: submit_time must be non-negative, "
+                f"got {self.submit_time}"
+            )
+        # Users routinely under-estimate; SWF traces occasionally carry
+        # requested_time < run_time.  We keep the value but never let the
+        # scheduler see a non-positive estimate: fall back to actual runtime.
+        if self.requested_time <= 0:
+            self.requested_time = max(self.run_time, 1.0)
+
+    # ------------------------------------------------------------------
+    # scheduler-visible symbolic accessors (Table I)
+    # ------------------------------------------------------------------
+    @property
+    def s_t(self) -> float:
+        """Submission time."""
+        return self.submit_time
+
+    @property
+    def n_t(self) -> int:
+        """Requested processor count."""
+        return self.requested_procs
+
+    @property
+    def r_t(self) -> float:
+        """Requested (estimated) runtime."""
+        return self.requested_time
+
+    @property
+    def u_t(self) -> int:
+        """User id."""
+        return self.user_id
+
+    # ------------------------------------------------------------------
+    # derived quantities (valid once the simulator sets ``start_time``)
+    # ------------------------------------------------------------------
+    @property
+    def scheduled(self) -> bool:
+        return self.start_time >= 0
+
+    @property
+    def end_time(self) -> float:
+        if not self.scheduled:
+            raise RuntimeError(f"job {self.job_id} has not been scheduled")
+        return self.start_time + self.run_time
+
+    def waiting_time(self, now: float | None = None) -> float:
+        """Time spent waiting: until start if scheduled, else until ``now``."""
+        if self.scheduled:
+            return self.start_time - self.submit_time
+        if now is None:
+            raise RuntimeError(
+                f"job {self.job_id} not scheduled; pass `now` for elapsed wait"
+            )
+        return max(0.0, now - self.submit_time)
+
+    def copy(self) -> "Job":
+        """Fresh, unscheduled copy (simulations must not mutate the trace)."""
+        return replace(self, start_time=-1.0)
+
+    def __repr__(self) -> str:  # compact: the default dataclass repr is huge
+        return (
+            f"Job(id={self.job_id}, submit={self.submit_time:.0f}, "
+            f"run={self.run_time:.0f}, req_procs={self.requested_procs}, "
+            f"req_time={self.requested_time:.0f}, user={self.user_id})"
+        )

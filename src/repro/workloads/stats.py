@@ -1,0 +1,125 @@
+"""Workload characterisation (paper §II-A2 and Table II).
+
+Traces are characterised by representative statistical values: moments of
+runtime, job size and arrival interval, plus burstiness and user-imbalance
+measures used to explain the Fig. 7 / Table VIII phenomena.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from .swf import SWFTrace
+
+__all__ = [
+    "TraceStats",
+    "characterize",
+    "interarrival_times",
+    "user_job_counts",
+    "windowed_dispersion",
+]
+
+
+def windowed_dispersion(trace: SWFTrace, window: float | None = None) -> float:
+    """Index of dispersion of arrival counts: Var(N)/E(N) over time windows.
+
+    ~1 for a Poisson process; ≫1 for bursty (Markov-modulated) arrivals
+    where whole episodes of rapid submissions alternate with calm periods.
+    This is the statistic that distinguishes PIK-IPLEX-like traces — the
+    marginal inter-arrival CV cannot, because burstiness lives in the
+    *correlation* of consecutive gaps, not their distribution.
+
+    ``window`` defaults to 50× the mean inter-arrival time.
+    """
+    submits = np.array([j.submit_time for j in trace.jobs])
+    if len(submits) < 10:
+        raise ValueError("need at least 10 jobs for a dispersion estimate")
+    if window is None:
+        gaps = np.diff(submits)
+        window = 50.0 * float(gaps.mean())
+    if window <= 0:
+        raise ValueError("window must be positive")
+    edges = np.arange(submits[0], submits[-1] + window, window)
+    counts, _ = np.histogram(submits, bins=edges)
+    mean = counts.mean()
+    return float(counts.var() / mean) if mean > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a workload trace (the Table II columns and more)."""
+
+    name: str
+    n_jobs: int
+    n_procs: int                  # cluster size (`size`)
+    mean_interarrival: float      # `it`
+    mean_runtime: float           # `rt`
+    mean_requested_procs: float   # `nt`
+    std_interarrival: float
+    std_runtime: float
+    std_requested_procs: float
+    runtime_cv: float             # coefficient of variation
+    interarrival_cv: float
+    burstiness: float             # (cv - 1)/(cv + 1) of inter-arrivals; 0 = Poisson
+    n_users: int
+    top_user_share: float         # fraction of jobs from the most active user
+
+    def table_row(self) -> str:
+        """One Table II-style row: name, size, it, rt, nt."""
+        return (
+            f"{self.name:<14} {self.n_procs:>7d} {self.mean_interarrival:>8.0f} "
+            f"{self.mean_runtime:>8.0f} {self.mean_requested_procs:>8.0f}"
+        )
+
+
+def interarrival_times(trace: SWFTrace) -> np.ndarray:
+    """Gaps between consecutive submissions (length ``len(trace) - 1``)."""
+    submits = np.array([j.submit_time for j in trace.jobs])
+    return np.diff(submits)
+
+
+def user_job_counts(trace: SWFTrace) -> dict[int, int]:
+    """Jobs submitted per user id (unknown users, id -1, are excluded)."""
+    counts = Counter(j.user_id for j in trace.jobs if j.user_id >= 0)
+    return dict(counts)
+
+
+def characterize(trace: SWFTrace) -> TraceStats:
+    """Compute the summary statistics of a trace."""
+    if len(trace) < 2:
+        raise ValueError("need at least two jobs to characterise a trace")
+    runtimes = np.array([j.run_time for j in trace.jobs])
+    procs = np.array([j.requested_procs for j in trace.jobs], dtype=float)
+    gaps = interarrival_times(trace)
+
+    it_mean = float(gaps.mean())
+    it_std = float(gaps.std())
+    it_cv = it_std / it_mean if it_mean > 0 else 0.0
+    rt_mean = float(runtimes.mean())
+    rt_cv = float(runtimes.std() / rt_mean) if rt_mean > 0 else 0.0
+
+    counts = user_job_counts(trace)
+    if counts:
+        top_share = max(counts.values()) / sum(counts.values())
+    else:
+        top_share = 0.0
+
+    return TraceStats(
+        name=trace.name,
+        n_jobs=len(trace),
+        n_procs=trace.max_procs,
+        mean_interarrival=it_mean,
+        mean_runtime=rt_mean,
+        mean_requested_procs=float(procs.mean()),
+        std_interarrival=it_std,
+        std_runtime=float(runtimes.std()),
+        std_requested_procs=float(procs.std()),
+        runtime_cv=rt_cv,
+        interarrival_cv=it_cv,
+        burstiness=(it_cv - 1.0) / (it_cv + 1.0) if it_cv > 0 else -1.0,
+        n_users=len(counts),
+        top_user_share=float(top_share),
+    )

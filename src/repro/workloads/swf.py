@@ -1,0 +1,195 @@
+"""Standard Workload Format (SWF) v2 reader / writer.
+
+The SWF is the interchange format of the Parallel Workloads Archive
+(Feitelson et al., JPDC 2014).  A trace file consists of header directives
+(`; Key: value` comment lines) followed by one whitespace-separated record
+of 18 integer fields per job.
+
+This module parses real archive files byte-for-byte and also writes traces
+produced by the synthetic generators in :mod:`repro.workloads.archive` and
+:mod:`repro.workloads.lublin`, so the rest of the library is agnostic to
+where a trace came from.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from .job import Job, SWF_FIELD_NAMES
+
+__all__ = ["SWFHeader", "SWFTrace", "parse_swf", "read_swf", "write_swf"]
+
+
+@dataclass
+class SWFHeader:
+    """Header directives of an SWF file.
+
+    Only the directives the simulator needs are first-class; everything else
+    is preserved verbatim in ``extra`` so a round-trip keeps the file intact.
+    """
+
+    max_procs: int = -1
+    max_nodes: int = -1
+    unix_start_time: int = 0
+    extra: dict[str, str] = field(default_factory=dict)
+
+    def directive_lines(self) -> list[str]:
+        lines = []
+        if self.unix_start_time:
+            lines.append(f"; UnixStartTime: {self.unix_start_time}")
+        if self.max_nodes > 0:
+            lines.append(f"; MaxNodes: {self.max_nodes}")
+        if self.max_procs > 0:
+            lines.append(f"; MaxProcs: {self.max_procs}")
+        for key, value in self.extra.items():
+            lines.append(f"; {key}: {value}")
+        return lines
+
+
+@dataclass
+class SWFTrace:
+    """A parsed workload: header plus the job list, in submit order."""
+
+    jobs: list[Job]
+    header: SWFHeader = field(default_factory=SWFHeader)
+    name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return SWFTrace(jobs=self.jobs[idx], header=self.header, name=self.name)
+        return self.jobs[idx]
+
+    @property
+    def max_procs(self) -> int:
+        """Cluster size: header directive if present, else max over jobs."""
+        if self.header.max_procs > 0:
+            return self.header.max_procs
+        if not self.jobs:
+            return 0
+        return max(j.requested_procs for j in self.jobs)
+
+    def head(self, n: int) -> "SWFTrace":
+        """First ``n`` jobs (the paper uses the first 10K of each trace)."""
+        return self[:n]
+
+
+def _parse_record(fields: Sequence[str], lineno: int) -> Job | None:
+    """Build a Job from one SWF record; return None for unusable records."""
+    if len(fields) < 18:
+        raise ValueError(
+            f"SWF line {lineno}: expected 18 fields, got {len(fields)}"
+        )
+    values = {}
+    for name, raw in zip(SWF_FIELD_NAMES, fields):
+        values[name] = float(raw) if "." in raw or "e" in raw.lower() else int(raw)
+
+    run_time = float(values["run_time"])
+    procs = int(values["requested_procs"])
+    if procs <= 0:
+        # SWF uses -1 for unknown; fall back to processors actually used.
+        procs = int(values["used_procs"])
+    if procs <= 0 or run_time < 0:
+        return None  # cancelled / corrupted record: skip, as the paper's tooling does
+
+    return Job(
+        job_id=int(values["job_id"]),
+        submit_time=float(values["submit_time"]),
+        run_time=run_time,
+        requested_procs=procs,
+        requested_time=float(values["requested_time"]),
+        requested_mem=float(values["requested_mem"]),
+        user_id=int(values["user_id"]),
+        group_id=int(values["group_id"]),
+        executable_id=int(values["executable_id"]),
+        queue_id=int(values["queue_id"]),
+        partition_id=int(values["partition_id"]),
+        status=int(values["status"]),
+        wait_time=float(values["wait_time"]),
+        used_procs=int(values["used_procs"]),
+        used_avg_cpu=float(values["used_avg_cpu"]),
+        used_mem=float(values["used_mem"]),
+        preceding_job_id=int(values["preceding_job_id"]),
+        think_time=float(values["think_time"]),
+    )
+
+
+def parse_swf(text: str, name: str = "") -> SWFTrace:
+    """Parse SWF content from a string."""
+    header = SWFHeader()
+    jobs: list[Job] = []
+    for lineno, line in enumerate(io.StringIO(text), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            body = line[1:].strip()
+            if ":" in body:
+                key, _, value = body.partition(":")
+                key, value = key.strip(), value.strip()
+                if key == "MaxProcs":
+                    header.max_procs = int(value)
+                elif key == "MaxNodes":
+                    header.max_nodes = int(value)
+                elif key == "UnixStartTime":
+                    header.unix_start_time = int(value)
+                else:
+                    header.extra[key] = value
+            continue
+        job = _parse_record(line.split(), lineno)
+        if job is not None:
+            jobs.append(job)
+    jobs.sort(key=lambda j: (j.submit_time, j.job_id))
+    return SWFTrace(jobs=jobs, header=header, name=name)
+
+
+def read_swf(path: str | Path) -> SWFTrace:
+    """Read and parse an SWF file from disk."""
+    path = Path(path)
+    return parse_swf(path.read_text(), name=path.stem)
+
+
+def _format_record(job: Job) -> str:
+    def as_int(x: float) -> str:
+        return str(int(round(x)))
+
+    return " ".join(
+        [
+            as_int(job.job_id),
+            as_int(job.submit_time),
+            as_int(job.wait_time),
+            as_int(job.run_time),
+            as_int(job.used_procs if job.used_procs > 0 else job.requested_procs),
+            as_int(job.used_avg_cpu),
+            as_int(job.used_mem),
+            as_int(job.requested_procs),
+            as_int(job.requested_time),
+            as_int(job.requested_mem),
+            as_int(job.status),
+            as_int(job.user_id),
+            as_int(job.group_id),
+            as_int(job.executable_id),
+            as_int(job.queue_id),
+            as_int(job.partition_id),
+            as_int(job.preceding_job_id),
+            as_int(job.think_time),
+        ]
+    )
+
+
+def write_swf(trace: SWFTrace, path: str | Path | None = None) -> str:
+    """Serialise a trace to SWF text; optionally write it to ``path``."""
+    lines = list(trace.header.directive_lines())
+    lines.extend(_format_record(job) for job in trace.jobs)
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,58 @@
+"""Unit tests for the high-level evaluate/compare API."""
+
+import pytest
+
+from repro.api import compare, evaluate
+from repro.config import EvalConfig
+from repro.schedulers import F1, FCFS, SJF
+from repro.workloads import load_trace
+
+SMALL = EvalConfig(n_sequences=3, sequence_length=96, seed=1)
+
+
+class TestEvaluate:
+    def test_returns_scalar(self, lublin_trace):
+        value = evaluate(SJF(), lublin_trace, metric="bsld", config=SMALL)
+        assert value >= 1.0
+
+    def test_seeded_reproducibility(self, lublin_trace):
+        a = evaluate(SJF(), lublin_trace, metric="bsld", config=SMALL)
+        b = evaluate(SJF(), lublin_trace, metric="bsld", config=SMALL)
+        assert a == b
+
+    def test_metric_dispatch(self, lublin_trace):
+        util = evaluate(SJF(), lublin_trace, metric="util", config=SMALL)
+        assert 0.0 < util <= 1.0
+
+    def test_backfill_helps_fcfs(self, lublin_trace):
+        plain = evaluate(FCFS(), lublin_trace, metric="wait", config=SMALL)
+        filled = evaluate(FCFS(), lublin_trace, metric="wait",
+                          backfill=True, config=SMALL)
+        assert filled <= plain
+
+
+class TestCompare:
+    def test_same_sequences_for_all(self, lublin_trace):
+        """compare() must equal independent evaluate() calls — identical
+        windows per scheduler (the paper's fairness requirement)."""
+        result = compare([FCFS(), SJF()], lublin_trace, config=SMALL)
+        assert result["FCFS"] == evaluate(FCFS(), lublin_trace, config=SMALL)
+        assert result["SJF"] == evaluate(SJF(), lublin_trace, config=SMALL)
+
+    def test_accepts_mapping(self, lublin_trace):
+        result = compare({"a": FCFS(), "b": SJF()}, lublin_trace, config=SMALL)
+        assert set(result) == {"a", "b"}
+
+    def test_duplicate_names_rejected(self, lublin_trace):
+        with pytest.raises(ValueError, match="unique"):
+            compare([SJF(), SJF()], lublin_trace, config=SMALL)
+
+    def test_order_preserved(self, lublin_trace):
+        result = compare([F1(), FCFS(), SJF()], lublin_trace, config=SMALL)
+        assert list(result) == ["F1", "FCFS", "SJF"]
+
+    def test_sjf_beats_fcfs_on_bsld(self, lublin_trace):
+        """The qualitative Table V relationship."""
+        result = compare([FCFS(), SJF()], lublin_trace, metric="bsld",
+                         config=EvalConfig(n_sequences=4, sequence_length=192, seed=2))
+        assert result["SJF"] < result["FCFS"]

@@ -1,0 +1,117 @@
+"""Unit tests for the calibrated archive-trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    TRACE_SPECS,
+    ArchiveTraceSpec,
+    available_traces,
+    generate_archive_trace,
+    load_trace,
+)
+from repro.workloads.stats import (
+    characterize,
+    interarrival_times,
+    user_job_counts,
+    windowed_dispersion,
+)
+
+
+class TestSpecValidation:
+    def test_known_specs_exist(self):
+        assert set(TRACE_SPECS) == {"SDSC-SP2", "HPC2N", "PIK-IPLEX", "ANL-Intrepid"}
+
+    def test_rejects_mean_procs_over_cluster(self):
+        with pytest.raises(ValueError, match="mean_procs"):
+            ArchiveTraceSpec(
+                name="bad", n_procs=16, mean_interarrival=100,
+                mean_runtime=100, mean_procs=16,
+            )
+
+    def test_rejects_bad_burst_factor(self):
+        with pytest.raises(ValueError, match="burst_factor"):
+            ArchiveTraceSpec(
+                name="bad", n_procs=16, mean_interarrival=100,
+                mean_runtime=100, mean_procs=4, burst_factor=0.5,
+            )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown archive trace"):
+            generate_archive_trace("NOPE", n_jobs=10)
+
+
+class TestCalibration:
+    """Generated traces must match the Table II row for their namesake."""
+
+    @pytest.mark.parametrize("name", sorted(TRACE_SPECS))
+    def test_table2_moments(self, name):
+        spec = TRACE_SPECS[name]
+        trace = generate_archive_trace(name, n_jobs=6000, seed=0)
+        stats = characterize(trace)
+        assert stats.n_procs == spec.n_procs
+        assert stats.mean_interarrival == pytest.approx(
+            spec.mean_interarrival, rel=0.25
+        )
+        assert stats.mean_runtime == pytest.approx(spec.mean_runtime, rel=0.15)
+        # sizes are discrete powers of two: allow a wider band
+        assert stats.mean_requested_procs == pytest.approx(
+            spec.mean_procs, rel=0.35
+        )
+
+    def test_pik_is_extremely_bursty(self):
+        """PIK-IPLEX drives Fig. 3 / Fig. 7: it needs far burstier arrivals
+        than SDSC-SP2.  Burstiness shows in the index of dispersion of
+        windowed arrival counts, not in the marginal inter-arrival CV."""
+        pik = generate_archive_trace("PIK-IPLEX", n_jobs=6000, seed=0)
+        sdsc = generate_archive_trace("SDSC-SP2", n_jobs=6000, seed=0)
+        assert windowed_dispersion(pik) > 3.0 * windowed_dispersion(sdsc)
+        assert windowed_dispersion(pik) > 20.0
+
+    def test_hpc2n_has_dominant_user(self):
+        """The paper's u17 observation: one user dominates HPC2N."""
+        trace = generate_archive_trace("HPC2N", n_jobs=4000, seed=0)
+        counts = user_job_counts(trace)
+        top_user = max(counts, key=counts.get)
+        assert top_user == 17
+        assert counts[17] / sum(counts.values()) > 0.3
+
+    def test_sdsc_has_no_dominant_user(self):
+        trace = generate_archive_trace("SDSC-SP2", n_jobs=4000, seed=0)
+        assert characterize(trace).top_user_share < 0.3
+
+
+class TestGenerationMechanics:
+    def test_deterministic_with_seed(self):
+        a = generate_archive_trace("SDSC-SP2", n_jobs=100, seed=3)
+        b = generate_archive_trace("SDSC-SP2", n_jobs=100, seed=3)
+        assert all(x.run_time == y.run_time for x, y in zip(a, b))
+
+    def test_arrivals_strictly_increasing_gaps_positive(self):
+        trace = generate_archive_trace("HPC2N", n_jobs=500, seed=1)
+        gaps = interarrival_times(trace)
+        assert (gaps >= 0).all()
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            generate_archive_trace("SDSC-SP2", n_jobs=0)
+
+    def test_estimates_at_least_runtime(self):
+        trace = generate_archive_trace("SDSC-SP2", n_jobs=300, seed=2)
+        assert all(j.requested_time >= j.run_time for j in trace)
+
+
+class TestLoadTrace:
+    def test_available_names(self):
+        names = available_traces()
+        assert "Lublin-1" in names and "PIK-IPLEX" in names
+
+    def test_load_lublin_by_name(self):
+        trace = load_trace("Lublin-1", n_jobs=50, seed=0)
+        assert trace.name == "Lublin-1"
+        assert len(trace) == 50
+
+    def test_load_archive_by_name(self):
+        trace = load_trace("HPC2N", n_jobs=50, seed=0)
+        assert trace.name == "HPC2N"
+        assert trace.max_procs == 240

@@ -1,0 +1,137 @@
+"""Unit tests for EASY backfilling: shadow time, extra procs, candidate rules."""
+
+import pytest
+
+from repro.sim import Cluster, backfill_candidates, shadow_time_and_extra
+from repro.workloads import Job
+
+
+def job(jid, procs, req_time, submit=0.0, run=None):
+    return Job(
+        job_id=jid,
+        submit_time=submit,
+        run_time=run if run is not None else req_time,
+        requested_procs=procs,
+        requested_time=req_time,
+    )
+
+
+def running_job(jid, procs, req_time, start):
+    j = job(jid, procs, req_time)
+    j.start_time = start
+    return j
+
+
+class TestShadowTime:
+    def test_immediate_fit_returns_now(self):
+        c = Cluster(8)
+        head = job(1, 4, 100)
+        shadow, extra = shadow_time_and_extra(head, [], c, now=50.0)
+        assert shadow == 50.0
+        assert extra == 4
+
+    def test_shadow_is_earliest_sufficient_release(self):
+        c = Cluster(8)
+        r1 = running_job(1, 4, req_time=100, start=0.0)   # releases at 100
+        r2 = running_job(2, 4, req_time=200, start=0.0)   # releases at 200
+        c.allocate(r1)
+        c.allocate(r2)
+        head = job(3, 6, 50)
+        shadow, extra = shadow_time_and_extra(head, [r1, r2], c, now=10.0)
+        # at t=100 only 4 free; at t=200, 8 free >= 6
+        assert shadow == 200.0
+        assert extra == 2
+
+    def test_uses_requested_not_actual_runtime(self):
+        """Planning must rely on the user estimate only."""
+        c = Cluster(4)
+        r = running_job(1, 4, req_time=500, start=0.0)
+        r.run_time = 50.0  # actually finishes much earlier — invisible
+        c.allocate(r)
+        head = job(2, 4, 10)
+        shadow, _ = shadow_time_and_extra(head, [r], c, now=0.0)
+        assert shadow == 500.0
+
+    def test_release_in_past_clamped_to_now(self):
+        c = Cluster(4)
+        r = running_job(1, 4, req_time=10, start=0.0)  # estimate expired
+        c.allocate(r)
+        head = job(2, 4, 10)
+        shadow, _ = shadow_time_and_extra(head, [r], c, now=100.0)
+        assert shadow == 100.0
+
+    def test_impossible_head_raises(self):
+        c = Cluster(4)
+        head = job(1, 4, 10)
+        c2 = Cluster(4)
+        blocker = running_job(2, 2, req_time=100, start=0.0)
+        c2.allocate(blocker)
+        # head needs 4; running releases only 2+2(free)=4 -> fits eventually
+        shadow, _ = shadow_time_and_extra(head, [blocker], c2, now=0.0)
+        assert shadow == 100.0
+
+
+class TestCandidates:
+    def _setup(self):
+        """8-proc cluster; 6 busy until t=100 (requested); head needs 8."""
+        c = Cluster(8)
+        r = running_job(1, 6, req_time=100, start=0.0)
+        c.allocate(r)
+        head = job(2, 8, 50, submit=1.0)
+        return c, r, head
+
+    def test_short_job_backfills(self):
+        c, r, head = self._setup()
+        # 2 procs free; candidate fits and ends (t=0+90) before shadow (100)
+        cand = job(3, 2, 90, submit=2.0)
+        chosen = backfill_candidates(head, [head, cand], [r], c, now=0.0)
+        assert chosen == [cand]
+
+    def test_long_narrow_job_blocked_without_extra(self):
+        c, r, head = self._setup()
+        # candidate would end at 150 > shadow 100, and head takes all 8
+        # procs at shadow => extra = 0: not allowed.
+        cand = job(3, 2, 150, submit=2.0)
+        chosen = backfill_candidates(head, [head, cand], [r], c, now=0.0)
+        assert chosen == []
+
+    def test_long_job_allowed_within_extra(self):
+        c = Cluster(8)
+        r = running_job(1, 6, req_time=100, start=0.0)
+        c.allocate(r)
+        head = job(2, 4, 50, submit=1.0)  # at shadow 100: 8 free, extra=4
+        cand = job(3, 2, 1000, submit=2.0)  # overruns shadow but procs <= extra
+        chosen = backfill_candidates(head, [head, cand], [r], c, now=0.0)
+        assert chosen == [cand]
+
+    def test_extra_budget_consumed_in_order(self):
+        c = Cluster(8)
+        r = running_job(1, 6, req_time=100, start=0.0)
+        c.allocate(r)
+        head = job(2, 4, 50, submit=1.0)  # extra = 4 at shadow... but only 2 free now
+        c1 = job(3, 2, 1000, submit=2.0)  # takes the 2 free + consumes extra
+        c2 = job(4, 2, 1000, submit=3.0)  # no free procs left now
+        chosen = backfill_candidates(head, [head, c1, c2], [r], c, now=0.0)
+        assert chosen == [c1]
+
+    def test_candidates_fcfs_order(self):
+        c = Cluster(8)
+        r = running_job(1, 4, req_time=100, start=0.0)
+        c.allocate(r)
+        head = job(2, 8, 50, submit=1.0)
+        early = job(3, 2, 50, submit=5.0)
+        earlier = job(4, 2, 50, submit=2.0)
+        chosen = backfill_candidates(head, [head, early, earlier], [r], c, now=0.0)
+        assert [j.job_id for j in chosen] == [4, 3]
+
+    def test_head_never_selected(self):
+        c = Cluster(8)
+        head = job(1, 2, 50)
+        chosen = backfill_candidates(head, [head], [], c, now=0.0)
+        assert chosen == []
+
+    def test_too_wide_candidate_skipped(self):
+        c, r, head = self._setup()
+        cand = job(3, 4, 10, submit=2.0)  # only 2 free now
+        chosen = backfill_candidates(head, [head, cand], [r], c, now=0.0)
+        assert chosen == []

@@ -1,0 +1,105 @@
+"""Unit tests for the GAE trajectory buffer."""
+
+import numpy as np
+import pytest
+
+from repro.rl import TrajectoryBuffer
+
+OBS_SHAPE = (4, 3)
+
+
+def fill_episode(buf, n_steps, values=None, terminal=10.0):
+    values = values if values is not None else [0.0] * n_steps
+    for t in range(n_steps):
+        buf.store(np.zeros(OBS_SHAPE), np.ones(4, bool), t % 4, -1.0, values[t])
+    buf.end_episode(terminal)
+
+
+class TestMechanics:
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            TrajectoryBuffer(gamma=1.5)
+
+    def test_end_episode_without_steps(self):
+        with pytest.raises(RuntimeError):
+            TrajectoryBuffer().end_episode(1.0)
+
+    def test_get_with_open_episode(self):
+        buf = TrajectoryBuffer()
+        buf.store(np.zeros(OBS_SHAPE), np.ones(4, bool), 0, -1.0, 0.0)
+        with pytest.raises(RuntimeError, match="still open"):
+            buf.get()
+
+    def test_get_empty(self):
+        with pytest.raises(RuntimeError, match="empty"):
+            TrajectoryBuffer().get()
+
+    def test_counts(self):
+        buf = TrajectoryBuffer()
+        fill_episode(buf, 3)
+        fill_episode(buf, 5)
+        assert buf.n_steps == 8
+        assert buf.n_episodes == 2
+        assert buf.episode_rewards == [10.0, 10.0]
+
+    def test_clear(self):
+        buf = TrajectoryBuffer()
+        fill_episode(buf, 3)
+        buf.clear()
+        assert buf.n_steps == 0
+
+
+class TestReturns:
+    def test_terminal_reward_propagates_with_gamma_one(self):
+        """Paper setting: zero intermediate rewards, terminal metric reward,
+        gamma=1 — every step's return equals the terminal reward."""
+        buf = TrajectoryBuffer(gamma=1.0, lam=0.95)
+        fill_episode(buf, 4, terminal=-42.0)
+        data = buf.get(normalize_advantages=False)
+        np.testing.assert_allclose(data["returns"], [-42.0] * 4)
+
+    def test_discounted_returns(self):
+        buf = TrajectoryBuffer(gamma=0.5, lam=1.0)
+        fill_episode(buf, 3, terminal=8.0)
+        data = buf.get(normalize_advantages=False)
+        np.testing.assert_allclose(data["returns"], [2.0, 4.0, 8.0])
+
+    def test_gae_with_zero_values_equals_returns(self):
+        buf = TrajectoryBuffer(gamma=1.0, lam=1.0)
+        fill_episode(buf, 4, values=[0.0] * 4, terminal=6.0)
+        data = buf.get(normalize_advantages=False)
+        np.testing.assert_allclose(data["advantages"], data["returns"])
+
+    def test_gae_baseline_reduces_advantage(self):
+        """A value baseline equal to the reward zeroes the advantage."""
+        buf = TrajectoryBuffer(gamma=1.0, lam=1.0)
+        fill_episode(buf, 3, values=[6.0, 6.0, 6.0], terminal=6.0)
+        data = buf.get(normalize_advantages=False)
+        np.testing.assert_allclose(data["advantages"], 0.0, atol=1e-12)
+
+    def test_episodes_isolated(self):
+        """GAE must not leak across episode boundaries."""
+        buf = TrajectoryBuffer(gamma=1.0, lam=1.0)
+        fill_episode(buf, 2, terminal=100.0)
+        fill_episode(buf, 2, terminal=-100.0)
+        data = buf.get(normalize_advantages=False)
+        np.testing.assert_allclose(data["returns"], [100, 100, -100, -100])
+
+
+class TestGetArrays:
+    def test_shapes_and_dtypes(self):
+        buf = TrajectoryBuffer()
+        fill_episode(buf, 5)
+        data = buf.get()
+        assert data["obs"].shape == (5, *OBS_SHAPE)
+        assert data["masks"].shape == (5, 4)
+        assert data["masks"].dtype == bool
+        assert data["actions"].dtype == np.int64
+        assert data["advantages"].shape == (5,)
+
+    def test_advantage_normalisation(self):
+        buf = TrajectoryBuffer()
+        fill_episode(buf, 4, values=[1.0, 2.0, 3.0, 4.0], terminal=5.0)
+        adv = buf.get(normalize_advantages=True)["advantages"]
+        assert adv.mean() == pytest.approx(0.0, abs=1e-9)
+        assert adv.std() == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,72 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "Lublin-1"])
+
+    def test_unknown_trace_rejected_by_generate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "NOPE", "-o", "x.swf"])
+
+    def test_metric_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "Lublin-1", "--metric", "xyz"])
+
+
+class TestCommands:
+    def test_traces(self, capsys):
+        assert main(["traces", "--jobs", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Lublin-1" in out and "PIK-IPLEX" in out
+
+    def test_generate_writes_swf(self, tmp_path, capsys):
+        out_file = tmp_path / "t.swf"
+        assert main(["generate", "Lublin-1", "--jobs", "50",
+                     "-o", str(out_file)]) == 0
+        assert out_file.exists()
+        from repro.workloads import read_swf
+
+        assert len(read_swf(out_file)) == 50
+
+    def test_evaluate_prints_all_heuristics(self, capsys):
+        code = main(["evaluate", "Lublin-1", "--jobs", "600",
+                     "--sequences", "1", "--length", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("FCFS", "SJF", "WFP3", "UNICEP", "F1"):
+            assert name in out
+
+    def test_train_then_evaluate_with_model(self, tmp_path, capsys):
+        model = tmp_path / "m.npz"
+        code = main([
+            "train", "Lublin-1", "--jobs", "600", "--epochs", "1",
+            "--trajectories", "2", "--length", "16", "--obsv", "8",
+            "-o", str(model),
+        ])
+        assert code == 0
+        assert model.exists()
+        code = main([
+            "evaluate", "Lublin-1", "--jobs", "600", "--sequences", "1",
+            "--length", "32", "--model", str(model),
+        ])
+        assert code == 0
+        assert "RL" in capsys.readouterr().out
+
+    def test_evaluate_uses_swf_dir(self, tmp_path, capsys):
+        out_file = tmp_path / "Custom.swf"
+        main(["generate", "Lublin-1", "--jobs", "400", "-o", str(out_file)])
+        code = main(["evaluate", "Custom", "--jobs", "300",
+                     "--sequences", "1", "--length", "32",
+                     "--swf-dir", str(tmp_path)])
+        assert code == 0
+        assert "Custom" in capsys.readouterr().out

@@ -1,0 +1,85 @@
+"""Unit tests for the cluster resource model (allocation invariants)."""
+
+import pytest
+
+from repro.sim import Cluster
+from repro.workloads import Job
+
+
+def job(jid=1, procs=4):
+    return Job(job_id=jid, submit_time=0.0, run_time=10.0, requested_procs=procs)
+
+
+class TestConstruction:
+    def test_starts_idle(self):
+        c = Cluster(64)
+        assert c.free_procs == 64
+        assert c.used_procs == 0
+        assert c.utilization == 0.0
+        assert c.n_running == 0
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+        with pytest.raises(ValueError):
+            Cluster(-4)
+
+
+class TestAllocate:
+    def test_allocate_and_release(self):
+        c = Cluster(8)
+        j = job(procs=5)
+        assert c.can_allocate(j)
+        c.allocate(j)
+        assert c.free_procs == 3
+        assert c.utilization == pytest.approx(5 / 8)
+        c.release(j)
+        assert c.free_procs == 8
+
+    def test_cannot_overallocate(self):
+        c = Cluster(8)
+        c.allocate(job(1, 6))
+        j2 = job(2, 4)
+        assert not c.can_allocate(j2)
+        with pytest.raises(RuntimeError, match="only 2 free"):
+            c.allocate(j2)
+
+    def test_job_larger_than_cluster(self):
+        c = Cluster(8)
+        with pytest.raises(ValueError, match="cluster only has"):
+            c.allocate(job(1, 16))
+
+    def test_double_allocate_rejected(self):
+        c = Cluster(8)
+        j = job()
+        c.allocate(j)
+        with pytest.raises(RuntimeError, match="already allocated"):
+            c.allocate(j)
+
+    def test_release_without_allocation_rejected(self):
+        c = Cluster(8)
+        with pytest.raises(RuntimeError, match="holds no allocation"):
+            c.release(job())
+
+    def test_fits(self):
+        c = Cluster(8)
+        assert c.fits(8)
+        assert not c.fits(9)
+
+    def test_reset(self):
+        c = Cluster(8)
+        c.allocate(job())
+        c.reset()
+        assert c.free_procs == 8
+        assert c.n_running == 0
+
+    def test_conservation_across_many_ops(self):
+        c = Cluster(16)
+        jobs = [job(i, 1 + i % 4) for i in range(8)]
+        for j in jobs:
+            if c.can_allocate(j):
+                c.allocate(j)
+        total_held = sum(
+            j.requested_procs for j in jobs if j.job_id in c._allocations
+        )
+        assert c.free_procs + total_held == 16

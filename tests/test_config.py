@@ -1,0 +1,57 @@
+"""Unit tests for configuration dataclasses (paper defaults + validation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import EnvConfig, EvalConfig, PPOConfig, TrainConfig
+
+
+class TestEnvConfig:
+    def test_paper_defaults(self):
+        cfg = EnvConfig()
+        assert cfg.max_obsv_size == 128  # MAX_OBSV_SIZE (§IV-B3)
+        assert cfg.observation_shape == (128, cfg.job_features)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            EnvConfig().max_obsv_size = 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnvConfig(max_obsv_size=0)
+        with pytest.raises(ValueError):
+            EnvConfig(job_features=2)
+
+
+class TestPPOConfig:
+    def test_paper_defaults(self):
+        cfg = PPOConfig()
+        assert cfg.pi_lr == 1e-3          # "the learning rate is 1e-3"
+        assert cfg.train_pi_iters == 80   # "80 iterations to update"
+        assert cfg.train_v_iters == 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PPOConfig(clip_ratio=0.0)
+        with pytest.raises(ValueError):
+            PPOConfig(gamma=1.5)
+
+
+class TestTrainConfig:
+    def test_paper_defaults(self):
+        cfg = TrainConfig()
+        assert cfg.epochs == 100
+        assert cfg.trajectories_per_epoch == 100
+        assert cfg.trajectory_length == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+
+
+class TestEvalConfig:
+    def test_paper_defaults(self):
+        cfg = EvalConfig()
+        assert cfg.n_sequences == 10       # "repeated 10 times"
+        assert cfg.sequence_length == 1024  # "1,024 continuous jobs"

@@ -1,0 +1,92 @@
+"""Unit tests for conservative backfilling and the engine's backfill modes."""
+
+import pytest
+
+from repro.schedulers import FCFS
+from repro.sim import (
+    Cluster,
+    SchedulingEngine,
+    conservative_backfill_candidates,
+    run_scheduler,
+)
+from repro.sim.metrics import average_waiting_time
+from repro.workloads import Job
+
+
+def job(jid, submit, run, procs, req_time=None):
+    return Job(job_id=jid, submit_time=submit, run_time=run,
+               requested_procs=procs,
+               requested_time=req_time if req_time is not None else run)
+
+
+def running_job(jid, procs, req_time, start):
+    j = job(jid, 0.0, req_time, procs, req_time)
+    j.start_time = start
+    return j
+
+
+class TestConservativeCandidates:
+    def _setup(self):
+        c = Cluster(8)
+        r = running_job(1, 6, req_time=100, start=0.0)
+        c.allocate(r)
+        return c, r
+
+    def test_accepts_jobs_ending_before_shadow(self):
+        c, r = self._setup()
+        head = job(2, 1.0, 50, 8)
+        cand = job(3, 2.0, 90, 2)  # ends at 90 < shadow 100
+        chosen = conservative_backfill_candidates(head, [head, cand], [r], c, 0.0)
+        assert chosen == [cand]
+
+    def test_rejects_jobs_using_extra_allowance(self):
+        """The EASY 'extra procs' rule must NOT apply: overrunning the
+        shadow time is forbidden even if processors would be spare."""
+        c = Cluster(8)
+        r = running_job(1, 6, req_time=100, start=0.0)
+        c.allocate(r)
+        head = job(2, 1.0, 50, 4)              # extra=4 at shadow under EASY
+        cand = job(3, 2.0, 1000, 2)            # overruns shadow
+        from repro.sim import backfill_candidates
+
+        assert backfill_candidates(head, [head, cand], [r], c, 0.0) == [cand]
+        assert conservative_backfill_candidates(
+            head, [head, cand], [r], c, 0.0) == []
+
+
+class TestEngineModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="backfill must be one of"):
+            SchedulingEngine([job(1, 0, 10, 2)], 4, backfill="aggressive")
+
+    def test_true_is_easy_alias(self):
+        jobs = [job(1, 0, 100, 3), job(2, 1, 50, 4), job(3, 2, 50, 1)]
+        easy = run_scheduler([j.copy() for j in jobs], 4, FCFS(), backfill=True)
+        named = run_scheduler([j.copy() for j in jobs], 4, FCFS(), backfill="easy")
+        assert sorted((j.job_id, j.start_time) for j in easy) == sorted(
+            (j.job_id, j.start_time) for j in named
+        )
+
+    def test_conservative_never_beats_easy_on_opportunities(self, lublin_trace):
+        """EASY backfills a superset of candidates, so its waiting time is
+        at most conservative's on identical input (ties allowed)."""
+        seq = [j.copy() for j in lublin_trace.jobs[300:500]]
+        easy = run_scheduler(seq, lublin_trace.max_procs, FCFS(), backfill="easy")
+        cons = run_scheduler(seq, lublin_trace.max_procs, FCFS(),
+                             backfill="conservative")
+        plain = run_scheduler(seq, lublin_trace.max_procs, FCFS(), backfill=False)
+        # both modes complete everything
+        assert len(easy) == len(cons) == len(seq)
+        # and both improve on no backfilling
+        assert average_waiting_time(easy) <= average_waiting_time(plain) + 1e-9
+        assert average_waiting_time(cons) <= average_waiting_time(plain) + 1e-9
+
+    def test_conservative_head_job_not_delayed(self):
+        jobs = [
+            job(1, 0, 100, 3),
+            job(2, 1, 50, 4),
+            job(3, 2, 500, 1, req_time=500),
+        ]
+        done = run_scheduler(jobs, 4, FCFS(), backfill="conservative")
+        starts = {j.job_id: j.start_time for j in done}
+        assert starts[2] == 100.0

@@ -1,0 +1,146 @@
+"""Unit tests for SchedGym: observation building, masking, rewards, episodes."""
+
+import numpy as np
+import pytest
+
+from repro.config import EnvConfig
+from repro.rl import make_reward
+from repro.sim import SchedGym
+from repro.sim.env import build_observation
+from repro.sim.cluster import Cluster
+from repro.workloads import Job
+
+
+def job(jid, submit, run, procs, req_time=None, user=0):
+    return Job(
+        job_id=jid, submit_time=submit, run_time=run, requested_procs=procs,
+        requested_time=req_time if req_time is not None else run, user_id=user,
+    )
+
+
+@pytest.fixture()
+def env():
+    return SchedGym(
+        n_procs=8,
+        reward_fn=make_reward("bsld"),
+        config=EnvConfig(max_obsv_size=4),
+    )
+
+
+class TestBuildObservation:
+    def test_shapes(self):
+        cfg = EnvConfig(max_obsv_size=4)
+        jobs = [job(1, 0, 10, 2)]
+        obs, mask, visible = build_observation(jobs, 5.0, 8, 8, cfg)
+        assert obs.shape == (4, cfg.job_features)
+        assert mask.tolist() == [True, False, False, False]
+        assert visible == jobs
+
+    def test_padding_rows_zero(self):
+        cfg = EnvConfig(max_obsv_size=4)
+        obs, _, _ = build_observation([job(1, 0, 10, 2)], 0.0, 8, 8, cfg)
+        assert (obs[1:] == 0).all()
+        assert obs[0, 6] == 1.0  # validity flag of the real row
+
+    def test_fcfs_cutoff(self):
+        cfg = EnvConfig(max_obsv_size=2)
+        jobs = [job(i, submit=10 - i, run=10, procs=1) for i in range(1, 5)]
+        _, mask, visible = build_observation(jobs, 20.0, 8, 8, cfg)
+        # earliest submit times win the visible slots
+        assert [j.job_id for j in visible] == [4, 3]
+        assert mask.sum() == 2
+
+    def test_can_run_flag(self):
+        cfg = EnvConfig(max_obsv_size=4)
+        jobs = [job(1, 0, 10, 2), job(2, 0, 10, 8)]
+        obs, _, visible = build_observation(jobs, 0.0, 4, 8, cfg)
+        flags = {v.job_id: obs[i, 4] for i, v in enumerate(visible)}
+        assert flags[1] == 1.0 and flags[2] == 0.0
+
+    def test_features_in_unit_range(self, lublin_trace):
+        cfg = EnvConfig()
+        jobs = [j.copy() for j in lublin_trace.jobs[:200]]
+        obs, _, _ = build_observation(jobs, 1e6, 100, 256, cfg)
+        assert (obs >= 0).all() and (obs <= 1).all()
+
+
+class TestEpisode:
+    def test_reset_returns_obs_and_mask(self, env):
+        obs, mask = env.reset([job(1, 0, 10, 2)])
+        assert obs.shape == (4, env.config.job_features)
+        assert mask[0]
+
+    def test_step_before_reset_raises(self):
+        e = SchedGym(8, make_reward("bsld"))
+        with pytest.raises(RuntimeError, match="reset"):
+            e.step(0)
+
+    def test_single_job_episode(self, env):
+        env.reset([job(1, 0, 10, 2)])
+        result = env.step(0)
+        assert result.done
+        # lone job never waits: bsld = 1, reward = -1
+        assert result.reward == pytest.approx(-1.0)
+
+    def test_action_out_of_range(self, env):
+        env.reset([job(1, 0, 10, 2)])
+        with pytest.raises(ValueError, match="out of range"):
+            env.step(7)
+
+    def test_padded_slot_rejected(self, env):
+        env.reset([job(1, 0, 10, 2)])
+        with pytest.raises(ValueError, match="padded slot"):
+            env.step(2)
+
+    def test_step_after_done_raises(self, env):
+        env.reset([job(1, 0, 10, 2)])
+        result = env.step(0)
+        assert result.done
+        with pytest.raises(RuntimeError, match="episode is over"):
+            env.step(0)
+
+    def test_intermediate_rewards_zero(self, env):
+        jobs = [job(i, 0, 10, 2) for i in range(1, 4)]
+        env.reset(jobs)
+        r1 = env.step(0)
+        assert r1.reward == 0.0 and not r1.done
+
+    def test_episode_completes_all_jobs(self, env):
+        jobs = [job(i, i * 2.0, 10, 2) for i in range(1, 6)]
+        obs, mask = env.reset(jobs)
+        steps = 0
+        done = False
+        while not done:
+            action = int(np.flatnonzero(mask)[0])
+            result = env.step(action)
+            obs, mask, done = result.observation, result.action_mask, result.done
+            steps += 1
+        assert steps == 5
+        assert len(result.info["completed"]) == 5
+
+    def test_reward_sign_matches_metric(self):
+        """util is maximised: reward must be positive; bsld negated."""
+        jobs = [job(1, 0, 100, 4)]
+        util_env = SchedGym(8, make_reward("util"), EnvConfig(max_obsv_size=4))
+        util_env.reset([j.copy() for j in jobs])
+        r = util_env.step(0)
+        assert r.reward == pytest.approx(0.5)  # 4 of 8 procs busy for full span
+
+    def test_fcfs_policy_reproduces_run_scheduler(self, lublin_trace):
+        """Stepping the env FCFS-greedily equals run_scheduler(FCFS)."""
+        from repro.schedulers import FCFS
+        from repro.sim import run_scheduler
+        from repro.sim.metrics import average_bounded_slowdown
+
+        seq = [j.copy() for j in lublin_trace.jobs[:60]]
+        env = SchedGym(
+            lublin_trace.max_procs, make_reward("bsld"), EnvConfig(max_obsv_size=128)
+        )
+        obs, mask = env.reset([j.copy() for j in seq])
+        done = False
+        while not done:
+            result = env.step(0)  # slot 0 is FCFS-first by construction
+            mask, done = result.action_mask, result.done
+        env_bsld = -result.reward
+        ref = run_scheduler(seq, lublin_trace.max_procs, FCFS())
+        assert env_bsld == pytest.approx(average_bounded_slowdown(ref))

@@ -1,0 +1,61 @@
+"""Unit tests for the event queue ordering semantics."""
+
+import pytest
+
+from repro.sim import EventKind, EventQueue
+from repro.workloads import Job
+
+
+def job(jid=1):
+    return Job(job_id=jid, submit_time=0.0, run_time=10.0, requested_procs=1)
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL, job(1))
+        q.push(2.0, EventKind.ARRIVAL, job(2))
+        q.push(9.0, EventKind.ARRIVAL, job(3))
+        assert [q.pop().time for _ in range(3)] == [2.0, 5.0, 9.0]
+
+    def test_finish_before_arrival_on_tie(self):
+        """Resources freed at t must be visible to a job arriving at t."""
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL, job(1))
+        q.push(5.0, EventKind.FINISH, job(2))
+        assert q.pop().kind is EventKind.FINISH
+        assert q.pop().kind is EventKind.ARRIVAL
+
+    def test_job_id_breaks_remaining_ties(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL, job(7))
+        q.push(5.0, EventKind.ARRIVAL, job(3))
+        assert q.pop().job_id == 3
+
+    def test_peek_does_not_pop(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.ARRIVAL, job())
+        assert q.peek().time == 1.0
+        assert len(q) == 1
+
+    def test_next_time(self):
+        q = EventQueue()
+        assert q.next_time is None
+        q.push(3.0, EventKind.FINISH, job())
+        assert q.next_time == 3.0
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(IndexError):
+            EventQueue().peek()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, EventKind.ARRIVAL, job())
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, EventKind.ARRIVAL, job())
+        assert q and len(q) == 1

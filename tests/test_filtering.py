@@ -1,0 +1,78 @@
+"""Unit tests for trajectory filtering (§IV-C): probe distribution, range R."""
+
+import numpy as np
+import pytest
+
+from repro.rl import FilterRange, TrajectoryFilter, probe_distribution
+from repro.workloads import load_trace
+
+
+@pytest.fixture(scope="module")
+def pik_trace():
+    # paper scale (first 10K jobs) so the trace contains its burst episode
+    return load_trace("PIK-IPLEX", n_jobs=10_000, seed=11)
+
+
+class TestFilterRange:
+    def test_accepts_open_closed_interval(self):
+        r = FilterRange(low=1.0, high=10.0, median=1.0, mean=5.0, skewness=2.0)
+        assert not r.accepts(1.0)   # easy sequences (<= median) dropped
+        assert r.accepts(5.0)
+        assert r.accepts(10.0)
+        assert not r.accepts(10.5)  # extreme tail dropped
+
+
+class TestProbeDistribution:
+    def test_shape_and_positivity(self, lublin_trace):
+        values = probe_distribution(
+            lublin_trace, n_samples=10, sequence_length=64, seed=0
+        )
+        assert values.shape == (10,)
+        assert (values >= 1.0).all()  # bsld floor
+
+    def test_rejects_zero_samples(self, lublin_trace):
+        with pytest.raises(ValueError):
+            probe_distribution(lublin_trace, n_samples=0)
+
+    def test_seeded_reproducibility(self, lublin_trace):
+        a = probe_distribution(lublin_trace, n_samples=5, sequence_length=64, seed=3)
+        b = probe_distribution(lublin_trace, n_samples=5, sequence_length=64, seed=3)
+        np.testing.assert_allclose(a, b)
+
+    def test_pik_distribution_heavily_skewed(self, pik_trace):
+        """The Fig. 7 phenomenon: median ~1, mean far larger."""
+        values = probe_distribution(pik_trace, n_samples=40, sequence_length=128, seed=0)
+        assert np.median(values) < 0.2 * values.mean()
+
+
+class TestTrajectoryFilter:
+    def test_fit_builds_paper_range(self, pik_trace):
+        f = TrajectoryFilter(metric="bsld")
+        r = f.fit(pik_trace, n_samples=40, sequence_length=128, seed=0)
+        assert r.low == pytest.approx(r.median)
+        assert r.high == pytest.approx(2.0 * r.mean)
+        assert r.skewness > 1.0  # heavy right skew on PIK
+
+    def test_accepts_requires_fit(self, pik_trace):
+        f = TrajectoryFilter()
+        with pytest.raises(RuntimeError, match="fit"):
+            f.accepts(pik_trace.jobs[:16], pik_trace.max_procs)
+
+    def test_filter_rejects_easy_and_extreme(self, pik_trace):
+        """Accepted sequences must have SJF metric inside (median, 2*mean]."""
+        f = TrajectoryFilter(metric="bsld")
+        r = f.fit(pik_trace, n_samples=40, sequence_length=128, seed=0)
+        from repro.workloads import SequenceSampler
+
+        sampler = SequenceSampler(pik_trace, 128, seed=5)
+        for _ in range(10):
+            jobs = sampler.sample()
+            value = f.sequence_value(jobs, pik_trace.max_procs)
+            assert f.accepts(jobs, pik_trace.max_procs) == r.accepts(value)
+
+    def test_filter_passes_everything_on_uniform_metric(self, lublin_trace):
+        """On a low-variance trace most mass sits inside the range — the
+        paper's observation that stable traces don't need filtering."""
+        f = TrajectoryFilter(metric="util")
+        f.fit(lublin_trace, n_samples=20, sequence_length=64, seed=0)
+        assert f.range.high > f.range.low

@@ -1,0 +1,126 @@
+"""Unit tests for the Table III heuristic schedulers."""
+
+import math
+
+import pytest
+
+from repro.schedulers import (
+    F1,
+    FCFS,
+    HEURISTICS,
+    LJF,
+    SJF,
+    UNICEP,
+    WFP3,
+    SmallestFirst,
+    make_scheduler,
+)
+from repro.sim import Cluster
+from repro.workloads import Job
+
+
+def job(jid=1, submit=0.0, req_time=100.0, procs=4):
+    return Job(
+        job_id=jid, submit_time=submit, run_time=req_time,
+        requested_procs=procs, requested_time=req_time,
+    )
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster(64)
+
+
+class TestFCFS:
+    def test_scores_by_submit_time(self, cluster):
+        assert FCFS().score(job(submit=5.0), 10.0, cluster) == 5.0
+
+    def test_selects_earliest(self, cluster):
+        jobs = [job(1, submit=9.0), job(2, submit=3.0)]
+        assert FCFS().select(jobs, 10.0, cluster).job_id == 2
+
+
+class TestSJF:
+    def test_scores_by_requested_time(self, cluster):
+        assert SJF().score(job(req_time=42.0), 0.0, cluster) == 42.0
+
+    def test_uses_estimate_not_actual(self, cluster):
+        j = job(req_time=100.0)
+        j.run_time = 1.0  # actual runtime invisible to the scheduler
+        assert SJF().score(j, 0.0, cluster) == 100.0
+
+    def test_ljf_is_opposite(self, cluster):
+        jobs = [job(1, req_time=10), job(2, req_time=99)]
+        assert SJF().select(jobs, 0.0, cluster).job_id == 1
+        assert LJF().select(jobs, 0.0, cluster).job_id == 2
+
+
+class TestWFP3:
+    def test_formula(self, cluster):
+        j = job(submit=0.0, req_time=100.0, procs=4)
+        # wait = 200 => -(200/100)^3 * 4 = -32
+        assert WFP3().score(j, 200.0, cluster) == pytest.approx(-32.0)
+
+    def test_prefers_long_waiters(self, cluster):
+        fresh = job(1, submit=90.0)
+        stale = job(2, submit=0.0)
+        assert WFP3().select([fresh, stale], 100.0, cluster).job_id == 2
+
+    def test_zero_wait_is_zero(self, cluster):
+        assert WFP3().score(job(submit=50.0), 50.0, cluster) == 0.0
+
+
+class TestUNICEP:
+    def test_formula(self, cluster):
+        j = job(submit=0.0, req_time=100.0, procs=4)
+        expected = -200.0 / (math.log2(4) * 100.0)
+        assert UNICEP().score(j, 200.0, cluster) == pytest.approx(expected)
+
+    def test_serial_job_guard(self, cluster):
+        """log2(1) = 0 must not divide by zero: guard uses max(n, 2)."""
+        j = job(procs=1)
+        score = UNICEP().score(j, 100.0, cluster)
+        assert math.isfinite(score)
+
+
+class TestF1:
+    def test_formula(self, cluster):
+        j = job(submit=1000.0, req_time=100.0, procs=4)
+        expected = math.log10(100.0) * 4 + 870.0 * math.log10(1000.0)
+        assert F1().score(j, 0.0, cluster) == pytest.approx(expected)
+
+    def test_zero_submit_guard(self, cluster):
+        """Sequences re-based to t=0 must not hit log10(0)."""
+        score = F1().score(job(submit=0.0), 0.0, cluster)
+        assert math.isfinite(score)
+
+    def test_prefers_short_narrow_early(self, cluster):
+        good = job(1, submit=1.0, req_time=10.0, procs=1)
+        bad = job(2, submit=1.0, req_time=10_000.0, procs=32)
+        assert F1().select([good, bad], 0.0, cluster).job_id == 1
+
+
+class TestSmallest:
+    def test_by_procs(self, cluster):
+        jobs = [job(1, procs=16), job(2, procs=2)]
+        assert SmallestFirst().select(jobs, 0.0, cluster).job_id == 2
+
+
+class TestRegistry:
+    def test_all_paper_schedulers(self):
+        assert set(HEURISTICS) == {"FCFS", "SJF", "WFP3", "UNICEP", "F1"}
+
+    def test_make_scheduler(self):
+        assert make_scheduler("SJF").name == "SJF"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            make_scheduler("XYZ")
+
+    def test_select_empty_queue_raises(self, cluster):
+        with pytest.raises(ValueError):
+            FCFS().select([], 0.0, cluster)
+
+    def test_tie_breaks_by_job_id(self, cluster):
+        jobs = [job(5, submit=1.0), job(2, submit=1.0)]
+        assert FCFS().select(jobs, 0.0, cluster).job_id == 2

@@ -1,0 +1,95 @@
+"""Unit tests for the Job model (SWF fields, validation, derived metrics)."""
+
+import pytest
+
+from repro.workloads import SWF_FIELD_NAMES, Job
+
+
+def make(**kw):
+    base = dict(job_id=1, submit_time=0.0, run_time=100.0, requested_procs=4)
+    base.update(kw)
+    return Job(**base)
+
+
+class TestValidation:
+    def test_minimal_construction(self):
+        j = make()
+        assert j.job_id == 1
+        assert j.requested_procs == 4
+
+    def test_rejects_nonpositive_procs(self):
+        with pytest.raises(ValueError, match="requested_procs"):
+            make(requested_procs=0)
+        with pytest.raises(ValueError, match="requested_procs"):
+            make(requested_procs=-3)
+
+    def test_rejects_negative_runtime(self):
+        with pytest.raises(ValueError, match="run_time"):
+            make(run_time=-1.0)
+
+    def test_rejects_negative_submit(self):
+        with pytest.raises(ValueError, match="submit_time"):
+            make(submit_time=-5.0)
+
+    def test_missing_estimate_falls_back_to_runtime(self):
+        j = make(requested_time=-1.0, run_time=500.0)
+        assert j.requested_time == 500.0
+
+    def test_missing_estimate_with_zero_runtime_is_one(self):
+        j = make(requested_time=-1.0, run_time=0.0)
+        assert j.requested_time == 1.0
+
+    def test_explicit_estimate_kept(self):
+        j = make(requested_time=999.0)
+        assert j.requested_time == 999.0
+
+
+class TestSymbolicAccessors:
+    def test_table1_symbols(self):
+        j = make(submit_time=42.0, requested_time=60.0, user_id=9)
+        assert j.s_t == 42.0
+        assert j.n_t == 4
+        assert j.r_t == 60.0
+        assert j.u_t == 9
+
+
+class TestDerived:
+    def test_unscheduled_state(self):
+        j = make()
+        assert not j.scheduled
+        with pytest.raises(RuntimeError):
+            _ = j.end_time
+
+    def test_end_time_after_scheduling(self):
+        j = make(submit_time=10.0, run_time=100.0)
+        j.start_time = 50.0
+        assert j.scheduled
+        assert j.end_time == 150.0
+
+    def test_waiting_time_scheduled(self):
+        j = make(submit_time=10.0)
+        j.start_time = 35.0
+        assert j.waiting_time() == 25.0
+
+    def test_waiting_time_unscheduled_needs_now(self):
+        j = make(submit_time=10.0)
+        with pytest.raises(RuntimeError):
+            j.waiting_time()
+        assert j.waiting_time(now=40.0) == 30.0
+
+    def test_waiting_time_never_negative(self):
+        j = make(submit_time=10.0)
+        assert j.waiting_time(now=5.0) == 0.0
+
+    def test_copy_resets_schedule(self):
+        j = make()
+        j.start_time = 100.0
+        c = j.copy()
+        assert not c.scheduled
+        assert c.job_id == j.job_id
+        assert c.run_time == j.run_time
+
+    def test_swf_field_names_complete(self):
+        assert len(SWF_FIELD_NAMES) == 18
+        assert SWF_FIELD_NAMES[0] == "job_id"
+        assert SWF_FIELD_NAMES[-1] == "think_time"

@@ -1,0 +1,161 @@
+"""Unit tests for NN layers: Dense, Conv2d, pooling, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, Dense, Flatten, Module, Parameter, Sequential, Tensor
+from repro.nn.layers import conv2d, max_pool2d
+
+from .test_tensor import numerical_grad
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(4, 8, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 8)
+
+    def test_identity_activation_is_affine(self):
+        layer = Dense(3, 2, rng=np.random.default_rng(0))
+        x = np.ones((1, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), expected)
+
+    def test_relu_activation_nonnegative(self):
+        layer = Dense(6, 6, activation="relu", rng=np.random.default_rng(0))
+        out = layer(Tensor(np.random.default_rng(1).normal(size=(10, 6))))
+        assert (out.numpy() >= 0).all()
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            Dense(3, 3, activation="swish")
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    def test_gradients_flow(self):
+        layer = Dense(3, 2, activation="tanh", rng=np.random.default_rng(0))
+        layer(Tensor(np.ones((4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestModuleMechanics:
+    def test_parameter_discovery(self):
+        net = Sequential(Dense(3, 4), Dense(4, 2))
+        assert len(net.parameters()) == 4  # 2 weights + 2 biases
+
+    def test_num_parameters(self):
+        net = Dense(3, 4)
+        assert net.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad(self):
+        net = Dense(3, 2)
+        net(Tensor(np.ones((1, 3)))).sum().backward()
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_state_dict_round_trip(self):
+        a = Dense(3, 2, rng=np.random.default_rng(0))
+        b = Dense(3, 2, rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.ones((1, 3)))
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy())
+
+    def test_state_dict_shape_mismatch(self):
+        a, b = Dense(3, 2), Dense(3, 5)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_save_load_file(self, tmp_path):
+        a = Dense(3, 2, rng=np.random.default_rng(0))
+        path = tmp_path / "w.npz"
+        a.save(path)
+        b = Dense(3, 2, rng=np.random.default_rng(5))
+        b.load(path)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_shared_parameter_counted_once(self):
+        class Tied(Module):
+            def __init__(self):
+                self.p = Parameter(np.ones(3))
+                self.alias = self.p
+
+        assert len(Tied().parameters()) == 1
+
+
+class TestConv2d:
+    def test_forward_shape(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 1, 8, 6)))
+        layer = Conv2d(1, 3, kernel_size=3, pad=1, rng=np.random.default_rng(0))
+        assert layer(x).shape == (2, 3, 8, 6)
+
+    def test_forward_matches_manual(self):
+        """3x3 conv with identity-ish kernel checked against direct compute."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 1, 5, 5))
+        w = Parameter(rng.normal(size=(1, 1, 3, 3)))
+        b = Parameter(np.zeros(1))
+        out = conv2d(Tensor(x), w, b, pad=0).numpy()
+        # direct correlation
+        expected = np.zeros((1, 1, 3, 3))
+        for i in range(3):
+            for j in range(3):
+                expected[0, 0, i, j] = (x[0, 0, i : i + 3, j : j + 3] * w.data[0, 0]).sum()
+        np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_gradients_numerical(self):
+        rng = np.random.default_rng(3)
+        x_val = rng.normal(size=(2, 2, 5, 4))
+        w = Parameter(rng.normal(size=(3, 2, 3, 3)) * 0.1)
+        b = Parameter(rng.normal(size=3) * 0.1)
+        x = Parameter(x_val.copy())
+        conv2d(x, w, b, pad=1).sum().backward()
+
+        def f_w(arr):
+            return float(conv2d(Tensor(x_val), Tensor(arr), Tensor(b.data), pad=1).sum().numpy())
+
+        num_w = numerical_grad(f_w, w.data.copy())
+        np.testing.assert_allclose(w.grad, num_w, rtol=1e-4, atol=1e-6)
+
+        def f_x(arr):
+            return float(conv2d(Tensor(arr), Tensor(w.data), Tensor(b.data), pad=1).sum().numpy())
+
+        num_x = numerical_grad(f_x, x_val.copy())
+        np.testing.assert_allclose(x.grad, num_x, rtol=1e-4, atol=1e-6)
+
+    def test_incompatible_channels(self):
+        x = Tensor(np.ones((1, 2, 4, 4)))
+        w = Parameter(np.ones((1, 3, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w, Parameter(np.zeros(1)))
+
+
+class TestMaxPool:
+    def test_forward(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2)
+        np.testing.assert_allclose(out.numpy()[0, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_to_winners(self):
+        x = Parameter(np.arange(16.0).reshape(1, 1, 4, 4))
+        max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        for i, j in [(1, 1), (1, 3), (3, 1), (3, 3)]:
+            expected[i, j] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_trailing_rows_dropped(self):
+        x = Tensor(np.ones((1, 1, 5, 5)))
+        assert max_pool2d(x, 2).shape == (1, 1, 2, 2)
+
+    def test_too_small_input(self):
+        with pytest.raises(ValueError):
+            max_pool2d(Tensor(np.ones((1, 1, 1, 4))), 2)
+
+
+class TestFlatten:
+    def test_shape(self):
+        out = Flatten()(Tensor(np.ones((2, 3, 4))))
+        assert out.shape == (2, 12)

@@ -1,0 +1,131 @@
+"""Unit tests for the policy/value networks, incl. the key order-invariance
+property of the kernel network (paper §III-1, §IV-B1)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    POLICY_PRESETS,
+    KernelPolicy,
+    LeNetPolicy,
+    MLPPolicy,
+    ValueMLP,
+    make_policy,
+    masked_log_softmax,
+)
+
+M, F = 16, 7  # small observation space for tests
+
+
+def random_obs(batch=2, seed=0):
+    return np.random.default_rng(seed).random((batch, M, F))
+
+
+class TestKernelPolicy:
+    def test_output_shape(self):
+        net = KernelPolicy(F)
+        assert net(random_obs()).shape == (2, M)
+
+    def test_accepts_single_observation(self):
+        net = KernelPolicy(F)
+        assert net(random_obs()[0]).shape == (1, M)
+
+    def test_parameter_count_under_1000(self):
+        """Paper: 'we are able to control the parameter size of the policy
+        network less than 1,000'."""
+        net = KernelPolicy(F, hidden=(32, 16, 8))
+        assert net.num_parameters() < 1000
+
+    def test_order_equivariance(self):
+        """Reordering jobs must reorder scores identically (§IV-B1)."""
+        net = KernelPolicy(F, seed=3)
+        obs = random_obs(batch=1, seed=1)
+        logits = net(obs).numpy()[0]
+        perm = np.random.default_rng(2).permutation(M)
+        logits_perm = net(obs[:, perm]).numpy()[0]
+        np.testing.assert_allclose(logits[perm], logits_perm, rtol=1e-10)
+
+    def test_same_job_same_score_regardless_of_position(self):
+        net = KernelPolicy(F, seed=3)
+        job_vec = np.random.default_rng(4).random(F)
+        obs = np.zeros((1, M, F))
+        obs[0, 2] = job_vec
+        score_at_2 = net(obs).numpy()[0, 2]
+        obs2 = np.zeros((1, M, F))
+        obs2[0, 9] = job_vec
+        score_at_9 = net(obs2).numpy()[0, 9]
+        assert score_at_2 == pytest.approx(score_at_9, rel=1e-12)
+
+    def test_feature_mismatch_rejected(self):
+        net = KernelPolicy(F)
+        with pytest.raises(ValueError, match="features"):
+            net(np.ones((1, M, F + 1)))
+
+    def test_needs_hidden_layers(self):
+        with pytest.raises(ValueError):
+            KernelPolicy(F, hidden=())
+
+
+class TestMLPPolicy:
+    def test_output_shape(self):
+        net = MLPPolicy(M, F)
+        assert net(random_obs()).shape == (2, M)
+
+    def test_not_order_equivariant(self):
+        """The flat MLP mixes positions — the paper's motivation for the
+        kernel design."""
+        net = MLPPolicy(M, F, seed=3)
+        obs = random_obs(batch=1, seed=1)
+        logits = net(obs).numpy()[0]
+        perm = np.random.default_rng(2).permutation(M)
+        logits_perm = net(obs[:, perm]).numpy()[0]
+        assert not np.allclose(logits[perm], logits_perm)
+
+    def test_v1_bigger_than_v2(self):
+        v1 = make_policy("mlp_v1", M, F)
+        v2 = make_policy("mlp_v2", M, F)
+        assert v1.num_parameters() > v2.num_parameters()
+
+
+class TestLeNetPolicy:
+    def test_output_shape(self):
+        net = LeNetPolicy(M, F)
+        assert net(random_obs()).shape == (2, M)
+
+    def test_rejects_tiny_observation(self):
+        with pytest.raises(ValueError, match="too small"):
+            LeNetPolicy(2, 3)
+
+    def test_gradients_flow_through_conv_stack(self):
+        net = LeNetPolicy(M, F, seed=0)
+        logits = net(random_obs(batch=1))
+        lp = masked_log_softmax(logits, np.ones((1, M), bool))
+        lp[0, 0].backward()
+        assert all(p.grad is not None for p in net.parameters())
+
+
+class TestValueMLP:
+    def test_scalar_per_observation(self):
+        net = ValueMLP(M, F)
+        out = net(random_obs(batch=5))
+        assert out.shape == (5,)
+
+    def test_gradients_flow(self):
+        net = ValueMLP(M, F)
+        net(random_obs()).sum().backward()
+        assert all(p.grad is not None for p in net.parameters())
+
+
+class TestPresets:
+    def test_all_table4_presets_construct(self):
+        for name in POLICY_PRESETS:
+            net = make_policy(name, M, F)
+            assert net(random_obs()).shape == (2, M)
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown policy preset"):
+            make_policy("resnet", M, F)
+
+    def test_kernel_is_smallest(self):
+        sizes = {n: make_policy(n, M, F).num_parameters() for n in POLICY_PRESETS}
+        assert sizes["kernel"] == min(sizes.values())

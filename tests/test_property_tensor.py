@@ -1,0 +1,118 @@
+"""Property-based tests: autodiff forward results equal NumPy, and core
+algebraic identities of the gradient hold on arbitrary inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Parameter, Tensor
+
+finite = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, width=64)
+small_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=5),
+    elements=finite,
+)
+positive_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=5),
+    elements=st.floats(min_value=0.1, max_value=10.0, width=64),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_forward_matches_numpy_elementwise(x):
+    t = Tensor(x)
+    np.testing.assert_allclose((t * 2.0 + 1.0).numpy(), x * 2.0 + 1.0)
+    np.testing.assert_allclose(t.tanh().numpy(), np.tanh(x))
+    np.testing.assert_allclose(t.relu().numpy(), np.maximum(x, 0))
+    np.testing.assert_allclose(t.exp().numpy(), np.exp(x))
+
+
+@settings(max_examples=50, deadline=None)
+@given(positive_arrays)
+def test_log_exp_inverse(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(t.log().exp().numpy(), x, rtol=1e-10)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_sum_grad_is_ones(x):
+    t = Parameter(x)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays, finite)
+def test_linearity_of_gradient(x, scale):
+    """d(c·sum(x))/dx == c everywhere."""
+    t = Parameter(x)
+    (t.sum() * scale).backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, scale), atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_grad_of_square_is_2x(x):
+    t = Parameter(x)
+    (t * t).sum().backward()
+    np.testing.assert_allclose(t.grad, 2.0 * x, rtol=1e-10, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)),
+           elements=finite),
+)
+def test_transpose_involution(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(t.T.T.numpy(), x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays)
+def test_clip_bounds_respected(x):
+    out = Tensor(x).clip(-1.0, 1.0).numpy()
+    assert (out >= -1.0).all() and (out <= 1.0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays, small_arrays)
+def test_minimum_commutes_on_values(a, b):
+    if a.shape != b.shape:
+        return
+    m1 = Tensor(a).minimum(Tensor(b)).numpy()
+    m2 = Tensor(b).minimum(Tensor(a)).numpy()
+    np.testing.assert_allclose(m1, m2)
+    np.testing.assert_allclose(m1, np.minimum(a, b))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(1, 5), st.integers(1, 5), st.integers(1, 5),
+    st.randoms(use_true_random=False),
+)
+def test_matmul_matches_numpy(n, k, m, rnd):
+    rng = np.random.default_rng(rnd.randint(0, 2**31))
+    a = rng.normal(size=(n, k))
+    b = rng.normal(size=(k, m))
+    np.testing.assert_allclose((Tensor(a) @ Tensor(b)).numpy(), a @ b, rtol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays)
+def test_gradient_accumulation_additive(x):
+    """Backward through f+g gives grad(f) + grad(g)."""
+    t1 = Parameter(x.copy())
+    (t1.tanh().sum() + (t1 * 3.0).sum()).backward()
+
+    t2 = Parameter(x.copy())
+    t2.tanh().sum().backward()
+    g_f = t2.grad.copy()
+    t2.zero_grad()
+    (t2 * 3.0).sum().backward()
+    np.testing.assert_allclose(t1.grad, g_f + t2.grad, rtol=1e-10, atol=1e-12)

@@ -1,0 +1,104 @@
+"""Property-based tests on the workload substrate: SWF round-trips, sampler
+invariants, masked-softmax distribution laws."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, masked_log_softmax
+from repro.workloads import (
+    Job,
+    SWFHeader,
+    SWFTrace,
+    parse_swf,
+    rebase_jobs,
+    sample_sequence,
+    write_swf,
+)
+
+
+@st.composite
+def job_lists(draw, min_jobs=1, max_jobs=20):
+    n = draw(st.integers(min_jobs, max_jobs))
+    jobs = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=1000.0))
+        run = float(draw(st.integers(1, 100_000)))
+        jobs.append(
+            Job(
+                job_id=i + 1,
+                submit_time=round(t),
+                run_time=run,
+                requested_procs=draw(st.integers(1, 64)),
+                requested_time=float(draw(st.integers(1, 200_000))),
+                user_id=draw(st.integers(1, 9)),
+                group_id=draw(st.integers(1, 4)),
+            )
+        )
+    return jobs
+
+
+@settings(max_examples=40, deadline=None)
+@given(job_lists())
+def test_swf_round_trip_preserves_scheduling_fields(jobs):
+    trace = SWFTrace(jobs=jobs, header=SWFHeader(max_procs=64))
+    back = parse_swf(write_swf(trace))
+    assert len(back) == len(jobs)
+    for a, b in zip(sorted(jobs, key=lambda j: (j.submit_time, j.job_id)), back):
+        assert a.job_id == b.job_id
+        assert a.submit_time == b.submit_time
+        assert round(a.run_time) == b.run_time
+        assert a.requested_procs == b.requested_procs
+        assert a.user_id == b.user_id
+
+
+@settings(max_examples=40, deadline=None)
+@given(job_lists(min_jobs=3))
+def test_rebase_preserves_gaps(jobs):
+    rebased = rebase_jobs(jobs)
+    assert min(j.submit_time for j in rebased) == 0.0
+    orig = sorted(j.submit_time for j in jobs)
+    new = sorted(j.submit_time for j in rebased)
+    np.testing.assert_allclose(np.diff(orig), np.diff(new), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(job_lists(min_jobs=5), st.integers(0, 2**31 - 1))
+def test_sampled_window_is_contiguous(jobs, seed):
+    trace = SWFTrace(jobs=jobs, header=SWFHeader(max_procs=64))
+    rng = np.random.default_rng(seed)
+    length = min(3, len(jobs))
+    window = sample_sequence(trace, length, rng)
+    ids = [j.job_id for j in window]
+    assert ids == list(range(ids[0], ids[0] + length))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(2, 12),
+    st.integers(0, 2**31 - 1),
+)
+def test_masked_softmax_is_distribution(n, seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(scale=5.0, size=(1, n))
+    mask = rng.random(n) < 0.5
+    if not mask.any():
+        mask[rng.integers(n)] = True
+    lp = masked_log_softmax(Tensor(logits), mask[None]).numpy()[0]
+    p = np.exp(lp)
+    assert p[~mask].max(initial=0.0) < 1e-12
+    np.testing.assert_allclose(p.sum(), 1.0, rtol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 12), st.integers(0, 2**31 - 1))
+def test_masked_softmax_shift_invariance(n, seed):
+    """softmax(x + c) == softmax(x): the policy only cares about relative
+    job scores."""
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(1, n))
+    mask = np.ones((1, n), bool)
+    a = masked_log_softmax(Tensor(logits), mask).numpy()
+    b = masked_log_softmax(Tensor(logits + 123.456), mask).numpy()
+    np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,73 @@
+"""Unit tests for reward construction (sign conventions, fairness, combos)."""
+
+import pytest
+
+from repro.rl import combine_rewards, make_reward, reward_names
+from repro.workloads import Job
+
+
+def done_job(jid=1, submit=0.0, start=0.0, run=100.0, procs=2, user=1):
+    j = Job(job_id=jid, submit_time=submit, run_time=run, requested_procs=procs,
+            user_id=user)
+    j.start_time = start
+    return j
+
+
+class TestSignConventions:
+    def test_bsld_negated(self):
+        """Minimise-metrics must be negated so higher reward = better."""
+        good = [done_job(start=0.0)]            # bsld 1
+        bad = [done_job(start=1000.0)]          # bsld 11
+        r = make_reward("bsld")
+        assert r(good, 4) > r(bad, 4)
+        assert r(good, 4) == pytest.approx(-1.0)
+
+    def test_util_positive(self):
+        r = make_reward("util")
+        jobs = [done_job(procs=2, run=100)]
+        assert r(jobs, 4) == pytest.approx(0.5)
+
+    def test_wait_negated(self):
+        r = make_reward("wait")
+        assert r([done_job(start=50.0)], 4) == pytest.approx(-50.0)
+
+    def test_all_registered_names_build(self):
+        jobs = [done_job()]
+        for name in reward_names():
+            assert isinstance(make_reward(name)(jobs, 4), float)
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            make_reward("throughput")
+
+
+class TestFairnessRewards:
+    def test_max_fairness_targets_worst_user(self):
+        r = make_reward("fair-bsld-max")
+        jobs = [
+            done_job(1, start=0.0, user=1),
+            done_job(2, start=5000.0, user=2),  # user 2 suffers
+        ]
+        # reward is -(max per-user bsld) = -(user 2's bsld)
+        assert r(jobs, 4) == pytest.approx(-51.0)
+
+    def test_mean_fairness_between(self):
+        rmax = make_reward("fair-bsld-max")
+        rmean = make_reward("fair-bsld-mean")
+        jobs = [
+            done_job(1, start=0.0, user=1),
+            done_job(2, start=5000.0, user=2),
+        ]
+        assert rmean(jobs, 4) > rmax(jobs, 4)
+
+
+class TestCombined:
+    def test_weighted_sum(self):
+        r = combine_rewards({"bsld": 1.0, "util": 10.0})
+        jobs = [done_job(procs=2, run=100)]
+        expected = -1.0 + 10.0 * 0.5
+        assert r(jobs, 4) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_rewards({})

@@ -1,0 +1,89 @@
+"""Unit tests for deploying trained policies as schedulers (save/load,
+greedy selection, run_scheduler interop)."""
+
+import numpy as np
+import pytest
+
+from repro.config import EnvConfig
+from repro.nn import KernelPolicy
+from repro.schedulers import RLSchedulerPolicy
+from repro.sim import Cluster, run_scheduler
+from repro.workloads import Job
+
+
+@pytest.fixture()
+def policy_scheduler():
+    env_config = EnvConfig(max_obsv_size=16)
+    policy = KernelPolicy(env_config.job_features, seed=0)
+    return RLSchedulerPolicy(policy, n_procs=8, env_config=env_config)
+
+
+def job(jid, submit=0.0, run=10.0, procs=2):
+    return Job(job_id=jid, submit_time=submit, run_time=run, requested_procs=procs)
+
+
+class TestSelect:
+    def test_selects_from_pending(self, policy_scheduler):
+        pending = [job(1), job(2), job(3)]
+        cluster = Cluster(8)
+        chosen = policy_scheduler.select(pending, 0.0, cluster)
+        assert chosen in pending
+
+    def test_deterministic(self, policy_scheduler):
+        pending = [job(1), job(2, run=99.0), job(3, procs=4)]
+        cluster = Cluster(8)
+        picks = {policy_scheduler.select(pending, 0.0, cluster).job_id
+                 for _ in range(5)}
+        assert len(picks) == 1
+
+    def test_empty_queue_raises(self, policy_scheduler):
+        with pytest.raises(ValueError):
+            policy_scheduler.select([], 0.0, Cluster(8))
+
+    def test_score_not_supported(self, policy_scheduler):
+        with pytest.raises(RuntimeError, match="whole queue"):
+            policy_scheduler.score(job(1), 0.0, Cluster(8))
+
+    def test_queue_overflow_handled(self, policy_scheduler):
+        """More pending jobs than MAX_OBSV_SIZE: cut-off must not crash."""
+        pending = [job(i, submit=float(i)) for i in range(1, 40)]
+        chosen = policy_scheduler.select(pending, 50.0, Cluster(8))
+        # cut-off keeps the 16 earliest-submitted jobs
+        assert chosen.job_id <= 16
+
+    def test_works_inside_run_scheduler(self, policy_scheduler):
+        jobs = [job(i, submit=i * 5.0) for i in range(1, 20)]
+        done = run_scheduler(jobs, 8, policy_scheduler)
+        assert len(done) == 19
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path, policy_scheduler):
+        path = tmp_path / "model.npz"
+        policy_scheduler.save(path)
+        loaded = RLSchedulerPolicy.load(path)
+        assert loaded.n_procs == 8
+        assert loaded.env_config.max_obsv_size == 16
+        pending = [job(1), job(2, run=99.0), job(3, procs=4)]
+        cluster = Cluster(8)
+        assert (
+            loaded.select(pending, 0.0, cluster).job_id
+            == policy_scheduler.select(pending, 0.0, cluster).job_id
+        )
+
+    def test_loaded_weights_identical(self, tmp_path, policy_scheduler):
+        path = tmp_path / "model.npz"
+        policy_scheduler.save(path)
+        loaded = RLSchedulerPolicy.load(path)
+        for a, b in zip(
+            policy_scheduler.policy.parameters(), loaded.policy.parameters()
+        ):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_name_preserved(self, tmp_path):
+        env_config = EnvConfig(max_obsv_size=16)
+        policy = KernelPolicy(env_config.job_features, seed=0)
+        s = RLSchedulerPolicy(policy, 8, env_config, name="RL-Lublin-1")
+        path = tmp_path / "m.npz"
+        s.save(path)
+        assert RLSchedulerPolicy.load(path).name == "RL-Lublin-1"

@@ -1,0 +1,151 @@
+"""Unit + integration tests for the discrete-event scheduling engine."""
+
+import pytest
+
+from repro.schedulers import FCFS, SJF
+from repro.sim import SchedulingEngine, run_scheduler
+from repro.sim.metrics import average_waiting_time
+from repro.workloads import Job
+
+
+def job(jid, submit, run, procs, req_time=None, user=0):
+    return Job(
+        job_id=jid, submit_time=submit, run_time=run, requested_procs=procs,
+        requested_time=req_time if req_time is not None else run, user_id=user,
+    )
+
+
+class TestEngineBasics:
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingEngine([], 4)
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(ValueError, match="cluster has 4"):
+            SchedulingEngine([job(1, 0, 10, 8)], 4)
+
+    def test_single_job_runs_immediately(self):
+        engine = SchedulingEngine([job(1, 0, 100, 2)], 4)
+        assert engine.advance_until_decision()
+        engine.commit(engine.pending[0])
+        assert not engine.advance_until_decision()
+        assert engine.done
+        done = engine.completed[0]
+        assert done.start_time == 0.0
+        assert done.end_time == 100.0
+
+    def test_commit_requires_pending_job(self):
+        engine = SchedulingEngine([job(1, 0, 10, 2), job(2, 500, 10, 2)], 4)
+        engine.advance_until_decision()
+        with pytest.raises(ValueError, match="not pending"):
+            engine.commit(job(99, 0, 1, 1))
+
+    def test_trace_jobs_not_mutated(self):
+        original = [job(1, 0, 100, 2)]
+        engine = SchedulingEngine(original, 4)
+        engine.advance_until_decision()
+        engine.commit(engine.pending[0])
+        engine.advance_until_decision()
+        assert not original[0].scheduled  # engine worked on copies
+
+    def test_commit_waits_for_resources(self):
+        jobs = [job(1, 0, 100, 4), job(2, 0, 50, 4)]
+        engine = SchedulingEngine(jobs, 4)
+        engine.advance_until_decision()
+        j1 = next(j for j in engine.pending if j.job_id == 1)
+        engine.commit(j1)
+        engine.advance_until_decision()
+        j2 = next(j for j in engine.pending if j.job_id == 2)
+        engine.commit(j2)  # must wait until t=100
+        assert j2.start_time == 100.0
+
+    def test_arrivals_join_queue_while_waiting(self):
+        jobs = [job(1, 0, 100, 4), job(2, 0, 50, 4), job(3, 10, 5, 1)]
+        engine = SchedulingEngine(jobs, 4)
+        engine.advance_until_decision()
+        engine.commit(next(j for j in engine.pending if j.job_id == 1))
+        engine.advance_until_decision()
+        engine.commit(next(j for j in engine.pending if j.job_id == 2))
+        # job 3 arrived at t=10 while job 2 waited until t=100
+        assert {j.job_id for j in engine.pending} == {3}
+
+
+class TestRunScheduler:
+    def test_fcfs_order(self):
+        jobs = [job(1, 0, 100, 4), job(2, 1, 10, 4), job(3, 2, 10, 4)]
+        done = run_scheduler(jobs, 4, FCFS())
+        starts = {j.job_id: j.start_time for j in done}
+        assert starts[1] == 0.0
+        assert starts[2] == 100.0
+        assert starts[3] == 110.0
+
+    def test_sjf_reorders(self):
+        jobs = [job(1, 0, 100, 4), job(2, 1, 10, 4), job(3, 2, 50, 4)]
+        done = run_scheduler(jobs, 4, SJF())
+        starts = {j.job_id: j.start_time for j in done}
+        # job1 starts first (alone at t=0); then SJF picks job2 before job3
+        assert starts[2] == 100.0
+        assert starts[3] == 110.0
+
+    def test_accepts_bare_score_function(self):
+        jobs = [job(1, 0, 10, 2), job(2, 0, 10, 2)]
+        done = run_scheduler(jobs, 4, lambda j, now, c: -j.job_id)
+        assert len(done) == 2
+
+    def test_all_jobs_complete(self, lublin_trace):
+        seq = [j.copy() for j in lublin_trace.jobs[:80]]
+        done = run_scheduler(seq, lublin_trace.max_procs, SJF())
+        assert len(done) == 80
+        assert all(j.scheduled for j in done)
+
+    def test_start_never_before_submit(self, lublin_trace):
+        seq = [j.copy() for j in lublin_trace.jobs[:80]]
+        done = run_scheduler(seq, lublin_trace.max_procs, FCFS())
+        assert all(j.start_time >= j.submit_time for j in done)
+
+
+class TestBackfilling:
+    def test_backfill_reduces_waiting(self, sdsc_trace):
+        seq = [j.copy() for j in sdsc_trace.jobs[200:500]]
+        plain = run_scheduler(seq, sdsc_trace.max_procs, FCFS(), backfill=False)
+        filled = run_scheduler(seq, sdsc_trace.max_procs, FCFS(), backfill=True)
+        assert average_waiting_time(filled) <= average_waiting_time(plain)
+
+    def test_backfill_textbook_case(self):
+        """Classic EASY example: a short narrow job jumps a blocked wide one."""
+        jobs = [
+            job(1, 0, 100, 3),            # runs immediately, holds 3/4
+            job(2, 1, 50, 4),             # must wait for all 4 procs (t=100)
+            job(3, 2, 50, 1, req_time=50) # fits the hole, ends at t<=100
+        ]
+        done = run_scheduler(jobs, 4, FCFS(), backfill=True)
+        starts = {j.job_id: j.start_time for j in done}
+        assert starts[3] < starts[2]          # backfilled ahead
+        assert starts[2] == 100.0             # head job NOT delayed
+
+    def test_backfill_never_delays_head_job(self):
+        """A long candidate that would push the head job back must not run."""
+        jobs = [
+            job(1, 0, 100, 3),
+            job(2, 1, 50, 4),
+            job(3, 2, 500, 1, req_time=500),  # would overrun shadow, extra=0
+        ]
+        done = run_scheduler(jobs, 4, FCFS(), backfill=True)
+        starts = {j.job_id: j.start_time for j in done}
+        assert starts[2] == 100.0
+        assert starts[3] >= 100.0
+
+    def test_completion_count_with_backfill(self, lublin_trace):
+        seq = [j.copy() for j in lublin_trace.jobs[:120]]
+        done = run_scheduler(seq, lublin_trace.max_procs, SJF(), backfill=True)
+        assert len(done) == 120
+
+
+class TestDeterminism:
+    def test_same_inputs_same_schedule(self, lublin_trace):
+        seq = [j.copy() for j in lublin_trace.jobs[:60]]
+        d1 = run_scheduler(seq, lublin_trace.max_procs, SJF(), backfill=True)
+        d2 = run_scheduler(seq, lublin_trace.max_procs, SJF(), backfill=True)
+        s1 = sorted((j.job_id, j.start_time) for j in d1)
+        s2 = sorted((j.job_id, j.start_time) for j in d2)
+        assert s1 == s2

@@ -1,0 +1,65 @@
+"""Unit tests for windowed dispersion and remaining stats corners."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import Job
+from repro.workloads.stats import characterize, windowed_dispersion
+
+from .conftest import make_trace
+
+
+def poisson_trace(n=2000, mean_gap=100.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.exponential(mean_gap, size=n))
+    jobs = [Job(job_id=i + 1, submit_time=float(ti), run_time=10.0,
+                requested_procs=1) for i, ti in enumerate(t)]
+    return make_trace(jobs, 8)
+
+
+class TestWindowedDispersion:
+    def test_poisson_near_one(self):
+        d = windowed_dispersion(poisson_trace())
+        assert 0.5 < d < 2.0
+
+    def test_bursty_far_above_one(self):
+        # deterministic clumps: 50 jobs at the same instant, every 10_000 s
+        jobs = []
+        jid = 1
+        for clump in range(40):
+            for k in range(50):
+                jobs.append(Job(job_id=jid, submit_time=clump * 10_000.0 + k * 1e-3,
+                                run_time=10.0, requested_procs=1))
+                jid += 1
+        d = windowed_dispersion(make_trace(jobs, 8), window=1000.0)
+        assert d > 10.0
+
+    def test_needs_enough_jobs(self):
+        with pytest.raises(ValueError, match="at least 10"):
+            windowed_dispersion(poisson_trace(n=5))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            windowed_dispersion(poisson_trace(), window=0.0)
+
+    def test_explicit_window_used(self):
+        t = poisson_trace()
+        d_small = windowed_dispersion(t, window=50.0)
+        d_large = windowed_dispersion(t, window=50_000.0)
+        assert d_small != d_large  # different aggregation scales
+
+
+class TestCharacterizeEdge:
+    def test_zero_variance_gaps(self):
+        jobs = [Job(job_id=i + 1, submit_time=float(i * 10), run_time=5.0,
+                    requested_procs=2) for i in range(20)]
+        stats = characterize(make_trace(jobs, 8))
+        assert stats.interarrival_cv == 0.0
+        assert stats.burstiness == -1.0  # perfectly regular arrivals
+
+    def test_single_user_top_share(self):
+        jobs = [Job(job_id=i + 1, submit_time=float(i), run_time=1.0,
+                    requested_procs=1, user_id=7) for i in range(10)]
+        stats = characterize(make_trace(jobs, 8))
+        assert stats.top_user_share == 1.0
+        assert stats.n_users == 1

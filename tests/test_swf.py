@@ -1,0 +1,113 @@
+"""Unit tests for the SWF parser/writer: directives, records, round-trips."""
+
+import pytest
+
+from repro.workloads import (
+    Job,
+    SWFHeader,
+    SWFTrace,
+    load_trace,
+    parse_swf,
+    read_swf,
+    write_swf,
+)
+
+SAMPLE = """\
+; MaxProcs: 128
+; MaxNodes: 64
+; UnixStartTime: 1000000
+; Note: synthetic sample
+1 0 -1 100 4 -1 -1 4 120 -1 1 7 2 3 1 1 -1 -1
+2 10 -1 50 2 -1 -1 2 60 -1 1 8 2 3 1 1 -1 -1
+3 20 -1 0 -1 -1 -1 -1 30 -1 0 9 2 3 1 1 -1 -1
+"""
+
+
+class TestParse:
+    def test_header_directives(self):
+        trace = parse_swf(SAMPLE)
+        assert trace.header.max_procs == 128
+        assert trace.header.max_nodes == 64
+        assert trace.header.unix_start_time == 1000000
+        assert trace.header.extra["Note"] == "synthetic sample"
+
+    def test_parses_valid_records(self):
+        trace = parse_swf(SAMPLE)
+        # job 3 has requested_procs=-1 and used_procs=-1: dropped.
+        assert len(trace) == 2
+        j = trace[0]
+        assert j.job_id == 1
+        assert j.run_time == 100.0
+        assert j.requested_procs == 4
+        assert j.requested_time == 120.0
+        assert j.user_id == 7
+
+    def test_fallback_to_used_procs(self):
+        text = "5 0 -1 10 8 -1 -1 -1 20 -1 1 1 1 1 1 1 -1 -1\n"
+        trace = parse_swf(text)
+        assert len(trace) == 1
+        assert trace[0].requested_procs == 8  # fell back to used_procs
+
+    def test_rejects_short_records(self):
+        with pytest.raises(ValueError, match="18 fields"):
+            parse_swf("1 2 3\n")
+
+    def test_sorts_by_submit_time(self):
+        text = (
+            "2 50 -1 10 1 -1 -1 1 20 -1 1 1 1 1 1 1 -1 -1\n"
+            "1 10 -1 10 1 -1 -1 1 20 -1 1 1 1 1 1 1 -1 -1\n"
+        )
+        trace = parse_swf(text)
+        assert [j.job_id for j in trace] == [1, 2]
+
+    def test_max_procs_falls_back_to_largest_job(self):
+        text = "1 0 -1 10 1 -1 -1 96 20 -1 1 1 1 1 1 1 -1 -1\n"
+        trace = parse_swf(text)
+        assert trace.max_procs == 96
+
+    def test_empty_input(self):
+        trace = parse_swf("")
+        assert len(trace) == 0
+
+
+class TestTraceContainer:
+    def test_slicing_returns_trace(self):
+        trace = parse_swf(SAMPLE)
+        head = trace.head(1)
+        assert isinstance(head, SWFTrace)
+        assert len(head) == 1
+        assert head.header.max_procs == 128
+
+    def test_iteration(self):
+        trace = parse_swf(SAMPLE)
+        assert [j.job_id for j in trace] == [1, 2]
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        trace = parse_swf(SAMPLE, name="sample")
+        path = tmp_path / "sample.swf"
+        write_swf(trace, path)
+        back = read_swf(path)
+        assert len(back) == len(trace)
+        for a, b in zip(trace, back):
+            assert a.job_id == b.job_id
+            assert a.submit_time == b.submit_time
+            assert a.run_time == b.run_time
+            assert a.requested_procs == b.requested_procs
+            assert a.user_id == b.user_id
+        assert back.header.max_procs == 128
+
+    def test_generated_trace_round_trips(self, tmp_path, lublin_trace):
+        path = tmp_path / "lublin.swf"
+        write_swf(lublin_trace.head(100), path)
+        back = read_swf(path)
+        assert len(back) == 100
+        assert back.max_procs == lublin_trace.max_procs
+
+    def test_load_trace_prefers_real_swf_file(self, tmp_path):
+        trace = parse_swf(SAMPLE, name="SDSC-SP2")
+        write_swf(trace, tmp_path / "SDSC-SP2.swf")
+        loaded = load_trace("SDSC-SP2", n_jobs=10, swf_dir=tmp_path)
+        # the real (sample) file has 2 usable jobs, not 10 synthetic ones
+        assert len(loaded) == 2

@@ -1,0 +1,117 @@
+"""Integration tests for the training loop (small scale, seeded)."""
+
+import numpy as np
+import pytest
+
+from repro.config import EnvConfig, PPOConfig, TrainConfig
+from repro.rl import Trainer, train
+from repro.workloads import load_trace
+
+
+TINY_ENV = EnvConfig(max_obsv_size=16)
+TINY_PPO = PPOConfig(train_pi_iters=15, train_v_iters=15)
+
+
+def tiny_train_config(**kw):
+    base = dict(epochs=2, trajectories_per_epoch=4, trajectory_length=24, seed=0)
+    base.update(kw)
+    return TrainConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return load_trace("Lublin-1", n_jobs=800, seed=3)
+
+
+class TestTrainerMechanics:
+    def test_curve_length_matches_epochs(self, trace):
+        t = Trainer(trace, env_config=TINY_ENV, ppo_config=TINY_PPO,
+                    train_config=tiny_train_config())
+        result = t.train()
+        assert len(result.curve) == 2
+        assert result.metric_curve().shape == (2,)
+
+    def test_records_are_populated(self, trace):
+        t = Trainer(trace, env_config=TINY_ENV, ppo_config=TINY_PPO,
+                    train_config=tiny_train_config(epochs=1))
+        record = t.train().curve[0]
+        assert record.mean_metric >= 1.0        # bsld floor
+        assert record.mean_reward == -record.mean_metric
+        assert record.wall_time > 0
+        assert not record.filtered_phase
+
+    def test_reproducible_with_seed(self, trace):
+        def run():
+            t = Trainer(trace, env_config=TINY_ENV, ppo_config=TINY_PPO,
+                        train_config=tiny_train_config(epochs=1))
+            return t.train().metric_curve()
+
+        np.testing.assert_allclose(run(), run())
+
+    def test_as_scheduler_deploys(self, trace):
+        t = Trainer(trace, env_config=TINY_ENV, ppo_config=TINY_PPO,
+                    train_config=tiny_train_config(epochs=1))
+        result = t.train()
+        sched = result.as_scheduler()
+        assert sched.name == "RL-Lublin-1"
+        from repro.sim import run_scheduler
+
+        seq = [j.copy() for j in trace.jobs[:30]]
+        assert len(run_scheduler(seq, trace.max_procs, sched)) == 30
+
+    def test_as_scheduler_before_train_raises(self, trace):
+        from repro.rl.trainer import TrainingResult
+
+        result = TrainingResult(trace_name="x", metric="bsld", policy_preset="kernel")
+        with pytest.raises(RuntimeError):
+            result.as_scheduler()
+
+    def test_utilization_metric_sign(self, trace):
+        """util is maximised: mean_metric must equal +mean_reward."""
+        t = Trainer(trace, metric="util", env_config=TINY_ENV, ppo_config=TINY_PPO,
+                    train_config=tiny_train_config(epochs=1))
+        record = t.train().curve[0]
+        assert record.mean_metric == record.mean_reward
+        assert 0.0 < record.mean_metric <= 1.0
+
+    def test_alternate_policy_preset(self, trace):
+        t = Trainer(trace, policy_preset="mlp_v2", env_config=TINY_ENV,
+                    ppo_config=TINY_PPO, train_config=tiny_train_config(epochs=1))
+        result = t.train()
+        assert result.policy_preset == "mlp_v2"
+
+    def test_train_function_entry_point(self, trace):
+        result = train(trace, env_config=TINY_ENV, ppo_config=TINY_PPO,
+                       train_config=tiny_train_config(epochs=1))
+        assert result.trace_name == "Lublin-1"
+
+
+class TestTrajectoryFilterIntegration:
+    def test_filter_phase_flag(self, trace):
+        cfg = tiny_train_config(
+            epochs=2, use_trajectory_filter=True, filter_probe_samples=8,
+            filter_phase1_fraction=0.5,
+        )
+        t = Trainer(trace, env_config=TINY_ENV, ppo_config=TINY_PPO, train_config=cfg)
+        result = t.train()
+        assert result.curve[0].filtered_phase
+        assert not result.curve[1].filtered_phase
+
+    def test_filter_fitted_at_construction(self, trace):
+        cfg = tiny_train_config(use_trajectory_filter=True, filter_probe_samples=8)
+        t = Trainer(trace, env_config=TINY_ENV, ppo_config=TINY_PPO, train_config=cfg)
+        assert t.filter is not None
+        assert t.filter.range is not None
+
+
+class TestLearningSignal:
+    def test_metric_improves_on_lublin(self, trace):
+        """A few epochs at small scale should already beat the untrained
+        policy — the Fig. 10 convergence property at miniature scale."""
+        cfg = tiny_train_config(epochs=5, trajectories_per_epoch=8,
+                                trajectory_length=32)
+        t = Trainer(trace, env_config=TINY_ENV,
+                    ppo_config=PPOConfig(train_pi_iters=40, train_v_iters=20),
+                    train_config=cfg)
+        curve = t.train().metric_curve()
+        assert min(curve[2:]) < curve[0]

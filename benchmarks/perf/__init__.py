@@ -1,0 +1,6 @@
+"""Micro-benchmark harness for the hot paths (see run_perf.py).
+
+Not collected by pytest — run explicitly::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--scale tiny|paper|smoke]
+"""

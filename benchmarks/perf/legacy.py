@@ -1,0 +1,164 @@
+"""Verbatim replica of the pre-vectorisation (seed) hot path, for benching.
+
+The acceptance bar for the vectorised rollout engine is a speedup ratio
+*measured in the same run* against the pre-PR sequential path.  The live
+code has since been optimised (sorted pending list, id-keyed running map,
+tuple event heap, cached observation columns), so measuring against it
+would understate the ratio.  This module preserves the seed
+implementation — dataclass-compare event heap, O(n) ``list.remove`` with
+full-field equality, a queue re-sort plus per-job Python loop on every
+observation — exactly as committed, so the baseline cost is the real one.
+
+Only used by ``run_perf.py``; never imported by library code.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import EnvConfig
+from repro.sim.cluster import Cluster
+from repro.sim.backfill import backfill_candidates, conservative_backfill_candidates
+from repro.sim.env import stable_user_hash
+from repro.sim.events import EventKind
+from repro.workloads.job import Job
+
+__all__ = ["LegacySchedulingEngine", "legacy_build_observation", "legacy_copy"]
+
+
+def legacy_copy(job: Job) -> Job:
+    """Seed-era ``Job.copy``: dataclasses.replace re-runs validation."""
+    return replace(job, start_time=-1.0)
+
+
+@dataclass(order=True, slots=True)
+class _LegacyEvent:
+    time: float
+    kind: EventKind
+    job_id: int
+    job: Job = field(compare=False)
+
+
+class _LegacyEventQueue:
+    """Seed event heap: dataclass elements, Python ``__lt__`` per sift."""
+
+    def __init__(self) -> None:
+        self._heap: list[_LegacyEvent] = []
+
+    def push(self, time: float, kind: EventKind, job: Job) -> None:
+        heapq.heappush(self._heap, _LegacyEvent(time, kind, job.job_id, job))
+
+    def pop(self) -> _LegacyEvent:
+        return heapq.heappop(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class LegacySchedulingEngine:
+    """The seed engine, byte-for-byte semantics (plain lists, O(n) scans)."""
+
+    def __init__(self, jobs: Sequence[Job], n_procs: int, backfill: bool | str = False):
+        self.jobs = [
+            legacy_copy(j)
+            for j in sorted(jobs, key=lambda x: (x.submit_time, x.job_id))
+        ]
+        self.cluster = Cluster(n_procs)
+        self.backfill = backfill
+        self.now = 0.0
+        self.pending: list[Job] = []
+        self.running: list[Job] = []
+        self.completed: list[Job] = []
+        self._events = _LegacyEventQueue()
+        for j in self.jobs:
+            self._events.push(j.submit_time, EventKind.ARRIVAL, j)
+
+    @property
+    def done(self) -> bool:
+        return len(self.completed) == len(self.jobs)
+
+    def _start(self, job: Job) -> None:
+        self.cluster.allocate(job)
+        job.start_time = self.now
+        self.pending.remove(job)
+        self.running.append(job)
+        self._events.push(job.start_time + job.run_time, EventKind.FINISH, job)
+
+    def _process_next_event(self) -> None:
+        event = self._events.pop()
+        self.now = event.time
+        if event.kind is EventKind.FINISH:
+            self.cluster.release(event.job)
+            self.running.remove(event.job)
+            self.completed.append(event.job)
+        else:
+            self.pending.append(event.job)
+
+    def advance_until_decision(self) -> bool:
+        while not self.pending:
+            if not self._events:
+                return False
+            self._process_next_event()
+        return True
+
+    def commit(self, job: Job) -> None:
+        if job not in self.pending:
+            raise ValueError(f"job {job.job_id} is not pending")
+        while not self.cluster.can_allocate(job):
+            if self.backfill:
+                for candidate in self._backfill_pass(job):
+                    self._start(candidate)
+                if self.cluster.can_allocate(job):
+                    break
+            if not self._events:
+                raise RuntimeError("deadlock")
+            self._process_next_event()
+        self._start(job)
+
+    def _backfill_pass(self, head: Job) -> list[Job]:
+        if self.backfill == "conservative":
+            return conservative_backfill_candidates(
+                head, self.pending, self.running, self.cluster, self.now
+            )
+        return backfill_candidates(
+            head, self.pending, self.running, self.cluster, self.now
+        )
+
+
+def legacy_build_observation(
+    pending: Sequence[Job],
+    now: float,
+    free_procs: int,
+    n_procs: int,
+    config: EnvConfig,
+) -> tuple[np.ndarray, np.ndarray, list[Job]]:
+    """Seed observation builder: full re-sort + per-job Python loop.
+
+    (The seed hashed user ids with the salted built-in ``hash``; the
+    stable hash is used here so baseline and vectorised paths compute the
+    same features — the arithmetic cost is equivalent.)
+    """
+    visible = sorted(pending, key=lambda j: (j.submit_time, j.job_id))
+    visible = visible[: config.max_obsv_size]
+
+    obs = np.zeros(config.observation_shape, dtype=np.float32)
+    free_frac = free_procs / n_procs
+    log_cap = math.log(config.runtime_scale)
+    for i, job in enumerate(visible):
+        wait = now - job.submit_time
+        obs[i, 0] = wait / (wait + config.wait_scale)
+        obs[i, 1] = min(math.log(max(job.requested_time, 1.0)) / log_cap, 1.0)
+        obs[i, 2] = job.requested_procs / n_procs
+        obs[i, 3] = free_frac
+        obs[i, 4] = 1.0 if job.requested_procs <= free_procs else 0.0
+        obs[i, 5] = stable_user_hash(job.user_id)
+        obs[i, 6] = 1.0
+
+    mask = np.zeros(config.max_obsv_size, dtype=bool)
+    mask[: len(visible)] = True
+    return obs, mask, visible

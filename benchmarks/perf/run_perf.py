@@ -1,0 +1,265 @@
+"""Hot-path micro-benchmarks: rollout, engine, and PPO-update throughput.
+
+Measures, in one run:
+
+* ``rollout.sequential_steps_per_sec`` — the pre-vectorisation training
+  rollout: one environment, the per-job-loop observation builder, and a
+  batch-size-1 policy *and* value forward per step (``PPOAgent.act``).
+* ``rollout.vectorized_steps_per_sec`` — the same sequences through
+  :class:`VecSchedGym`: N environments in lock-step, one batched policy
+  forward per step, value estimates deferred to one batched call per
+  episode.
+* ``rollout.speedup`` — the ratio (the PR-1 acceptance bar is ≥ 5×).
+* ``engine.events_per_sec`` — raw discrete-event engine throughput
+  (FCFS schedule, no network in the loop).
+* ``ppo_update.sec_per_iter`` — one PPO minibatch iteration (policy or
+  value step) on the batch the vectorised rollout collected.
+
+Results are written to ``BENCH_perf.json`` (``--out`` overrides) so
+successive PRs have a measured trajectory.  Scale presets:
+
+========  =======================================================
+scale     meaning
+========  =======================================================
+smoke     seconds; CI sanity check that the harness runs
+tiny      the default; ~a minute on a laptop, stable ratios
+paper     paper-protocol sizes (256-job sequences, 128 job slots)
+========  =======================================================
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import EnvConfig, PPOConfig
+from repro.nn import ValueMLP, make_policy
+from repro.rl import PPOAgent, TrajectoryBuffer, make_reward
+from repro.sim import SchedulingEngine, VecSchedGym, build_observation_loop, run_scheduler
+from repro.schedulers import FCFS
+from repro.workloads import SequenceSampler, load_trace
+
+try:  # runnable both as a module and as a script
+    from .legacy import LegacySchedulingEngine, legacy_build_observation
+except ImportError:
+    from legacy import LegacySchedulingEngine, legacy_build_observation
+
+SCALES = {
+    #         n_jobs  n_seqs  seq_len  max_obsv  n_envs
+    "smoke": (400, 8, 24, 16, 8),
+    "tiny": (2000, 24, 128, 128, 64),
+    "paper": (10_000, 100, 256, 128, 32),
+}
+
+
+def rollout_sequential(agent, env_cfg, n_procs, sequences, rng):
+    """Pre-PR rollout loop: seed engine, loop-built observations, and a
+    batch-1 policy + value forward per step (see legacy.py)."""
+    steps = 0
+    start = time.perf_counter()
+    for jobs in sequences:
+        engine = LegacySchedulingEngine(jobs, n_procs)
+        engine.advance_until_decision()
+        while True:
+            obs, mask, visible = legacy_build_observation(
+                engine.pending, engine.now, engine.cluster.free_procs,
+                n_procs, env_cfg,
+            )
+            action, _, _ = agent.act(obs, mask, rng=rng)
+            engine.commit(visible[action])
+            steps += 1
+            if not engine.advance_until_decision():
+                break
+    return steps, time.perf_counter() - start
+
+
+def check_legacy_replica(env_cfg, n_procs, jobs):
+    """Guard: the optimised engine must reproduce the seed schedule and
+    observations exactly (FCFS walk over one sequence)."""
+    legacy = LegacySchedulingEngine(jobs, n_procs)
+    modern = SchedulingEngine([j.copy() for j in jobs], n_procs)
+    legacy.advance_until_decision()
+    modern.advance_until_decision()
+    while True:
+        l_obs, l_mask, l_vis = legacy_build_observation(
+            legacy.pending, legacy.now, legacy.cluster.free_procs, n_procs, env_cfg
+        )
+        m_obs, m_mask, m_vis = build_observation_loop(
+            modern.pending, modern.now, modern.cluster.free_procs, n_procs, env_cfg
+        )
+        assert np.array_equal(l_obs, m_obs) and np.array_equal(l_mask, m_mask)
+        legacy.commit(l_vis[0])
+        modern.commit(m_vis[0])
+        l_more = legacy.advance_until_decision()
+        m_more = modern.advance_until_decision()
+        assert l_more == m_more
+        if not l_more:
+            break
+    assert [j.job_id for j in legacy.completed] == [j.job_id for j in modern.completed]
+
+
+def rollout_vectorized(agent, env_cfg, n_procs, sequences, n_envs, rng, buffer=None):
+    """Vectorised rollout; optionally fills ``buffer`` for the update bench."""
+    vec = VecSchedGym(n_envs, n_procs, make_reward("bsld"), config=env_cfg)
+    n = min(n_envs, len(sequences))
+    steps = 0
+    start = time.perf_counter()
+    obs, masks = vec.reset(sequences[:n])  # engines copy jobs internally
+    vec.queue_sequences(sequences[n:])
+    slot_of_env = list(range(n))
+    next_slot = n
+    while True:
+        active_idx = np.flatnonzero(vec.active)
+        if not len(active_idx):
+            break
+        a_obs = obs[active_idx]
+        a_masks = masks[active_idx]
+        actions, log_probs = agent.act_batch(a_obs, a_masks, rng)
+        if buffer is not None:
+            buffer.store_batch(
+                a_obs, a_masks, actions, log_probs,
+                slots=[slot_of_env[i] for i in active_idx],
+            )
+        full = np.full(vec.n_envs, -1, dtype=np.int64)
+        full[active_idx] = actions
+        result = vec.step(full)
+        steps += len(active_idx)
+        for i in active_idx:
+            if result.dones[i]:
+                slot = slot_of_env[i]
+                if buffer is not None:
+                    values = agent.value_batch(buffer.staged_obs(slot))
+                    buffer.end_slot(slot, result.rewards[i], values=values)
+                if result.infos[i].get("auto_reset"):
+                    slot_of_env[i] = next_slot
+                    next_slot += 1
+        obs, masks = result.observations, result.action_masks
+    return steps, time.perf_counter() - start
+
+
+def bench_engine(trace, n_jobs):
+    """Raw event-engine throughput: FCFS, no network in the loop."""
+    jobs = [j.copy() for j in trace.jobs[:n_jobs]]
+    start = time.perf_counter()
+    run_scheduler(jobs, trace.max_procs, FCFS())
+    elapsed = time.perf_counter() - start
+    return 2 * len(jobs) / elapsed  # one arrival + one finish per job
+
+
+def bench_ppo_update(agent, buffer, ppo_cfg):
+    data = buffer.get()
+    start = time.perf_counter()
+    stats = agent.update(data)
+    elapsed = time.perf_counter() - start
+    iters = stats.pi_iters_run + ppo_cfg.train_v_iters
+    return elapsed / iters, len(data["actions"])
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=os.environ.get("REPRO_BENCH_SCALE", "tiny"),
+    )
+    parser.add_argument("--n-envs", type=int, default=None)
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parents[2] / "BENCH_perf.json",
+    )
+    args = parser.parse_args(argv)
+
+    n_jobs, n_seqs, seq_len, max_obsv, n_envs = SCALES[args.scale]
+    if args.n_envs:
+        n_envs = args.n_envs
+    env_cfg = EnvConfig(max_obsv_size=max_obsv)
+    ppo_cfg = PPOConfig(train_pi_iters=10, train_v_iters=10)
+
+    trace = load_trace("Lublin-1", n_jobs=n_jobs, seed=3)
+    sampler = SequenceSampler(trace, seq_len, seed=1)
+    sequences = sampler.sample_many(n_seqs)
+
+    policy = make_policy("kernel", max_obsv, env_cfg.job_features, seed=0)
+    value = ValueMLP(max_obsv, env_cfg.job_features, seed=1)
+    agent = PPOAgent(policy, value, ppo_cfg, seed=0)
+
+    check_legacy_replica(env_cfg, trace.max_procs, sequences[0])
+
+    # Warm-up both paths (first-call allocation noise), then measure.
+    warm = sequences[:1]
+    rollout_sequential(agent, env_cfg, trace.max_procs, warm, np.random.default_rng(0))
+    rollout_vectorized(agent, env_cfg, trace.max_procs, warm, n_envs,
+                       np.random.default_rng(0))
+
+    print(f"[perf] scale={args.scale}: {n_seqs} sequences x {seq_len} jobs, "
+          f"M={max_obsv}, n_envs={n_envs}")
+    seq_steps, seq_time = rollout_sequential(
+        agent, env_cfg, trace.max_procs, sequences, np.random.default_rng(1)
+    )
+    print(f"[perf] sequential: {seq_steps} steps in {seq_time:.2f}s "
+          f"({seq_steps / seq_time:,.0f} steps/s)")
+
+    vec_steps, vec_time = rollout_vectorized(
+        agent, env_cfg, trace.max_procs, sequences, n_envs,
+        np.random.default_rng(1),
+    )
+    print(f"[perf] vectorized: {vec_steps} steps in {vec_time:.2f}s "
+          f"({vec_steps / vec_time:,.0f} steps/s)")
+
+    speedup = (vec_steps / vec_time) / (seq_steps / seq_time)
+    print(f"[perf] rollout speedup: {speedup:.2f}x")
+
+    events_per_sec = bench_engine(trace, min(n_jobs, 4000))
+    print(f"[perf] engine: {events_per_sec:,.0f} events/s")
+
+    # Untimed buffered collection feeds the PPO-update bench.
+    buffer = TrajectoryBuffer(gamma=ppo_cfg.gamma, lam=ppo_cfg.lam)
+    rollout_vectorized(agent, env_cfg, trace.max_procs, sequences, n_envs,
+                       np.random.default_rng(1), buffer=buffer)
+
+    sec_per_iter, batch_steps = bench_ppo_update(agent, buffer, ppo_cfg)
+    print(f"[perf] ppo update: {sec_per_iter * 1e3:.1f} ms/iter "
+          f"(batch of {batch_steps} steps)")
+
+    report = {
+        "scale": args.scale,
+        "policy_preset": "kernel",
+        "config": {
+            "n_jobs": n_jobs,
+            "n_sequences": n_seqs,
+            "sequence_length": seq_len,
+            "max_obsv_size": max_obsv,
+            "n_envs": n_envs,
+        },
+        "rollout": {
+            "sequential_steps_per_sec": seq_steps / seq_time,
+            "vectorized_steps_per_sec": vec_steps / vec_time,
+            "sequential_steps": seq_steps,
+            "vectorized_steps": vec_steps,
+            "speedup": speedup,
+        },
+        "engine": {"events_per_sec": events_per_sec},
+        "ppo_update": {"sec_per_iter": sec_per_iter, "batch_steps": batch_steps},
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[perf] wrote {args.out}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

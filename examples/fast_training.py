@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Fast training: the vectorised rollout engine in action.
+
+The trainer collects every epoch's trajectories through ``VecSchedGym``
+(``TrainConfig.vectorized``, on by default): ``n_envs`` environments step
+in lock-step and each policy forward serves all of them at once, while
+value estimates are computed once per finished episode on a whole-episode
+batch.  This script times one identical epoch both ways and verifies the
+vectorised path reproduces the sequential numbers exactly — the speedup
+is free.
+
+Related: ``benchmarks/perf/run_perf.py`` measures the rollout/engine/PPO
+hot paths in isolation and records them in ``BENCH_perf.json``.
+
+Run:  PYTHONPATH=src python examples/fast_training.py
+"""
+
+import time
+
+import repro
+from repro.rl import Trainer
+
+trace = repro.load_trace("Lublin-1", n_jobs=3000, seed=0)
+print(f"Loaded {trace.name}: {len(trace)} jobs on {trace.max_procs} processors")
+
+# ---------------------------------------------------------------------------
+# 1. One epoch, collected sequentially (one env at a time).  Note: even the
+#    sequential mode shares the per-episode batched value/log-prob pass, so
+#    the gap to the true pre-vectorisation trainer is larger than measured
+#    here — benchmarks/perf/run_perf.py isolates the rollout and reports
+#    that ratio in BENCH_perf.json.
+# ---------------------------------------------------------------------------
+
+
+def make_trainer(vectorized, n_envs=32):
+    return Trainer(
+        trace,
+        metric="bsld",
+        policy_preset="kernel",
+        env_config=repro.EnvConfig(max_obsv_size=128),
+        ppo_config=repro.PPOConfig(
+            train_pi_iters=3, train_v_iters=3, minibatch_size=512,
+        ),
+        train_config=repro.TrainConfig(
+            epochs=1,
+            trajectories_per_epoch=48,
+            trajectory_length=64,
+            seed=0,
+            vectorized=vectorized,
+            n_envs=n_envs,
+        ),
+    )
+
+
+sequential = make_trainer(vectorized=False)
+start = time.perf_counter()
+seq_record = sequential.run_epoch(0)
+seq_time = time.perf_counter() - start
+print(f"\nsequential epoch: {seq_time:5.1f}s  "
+      f"mean bsld {seq_record.mean_metric:.2f}  kl {seq_record.stats.kl:.5f}")
+
+# ---------------------------------------------------------------------------
+# 2. The same epoch through the vectorised collector.
+# ---------------------------------------------------------------------------
+vectorized = make_trainer(vectorized=True)
+start = time.perf_counter()
+vec_record = vectorized.run_epoch(0)
+vec_time = time.perf_counter() - start
+print(f"vectorized epoch: {vec_time:5.1f}s  "
+      f"mean bsld {vec_record.mean_metric:.2f}  kl {vec_record.stats.kl:.5f}  "
+      f"({seq_time / vec_time:.1f}x faster)")
+
+# ---------------------------------------------------------------------------
+# 3. Same seed => exactly the same training step, to the last bit.
+# ---------------------------------------------------------------------------
+assert vec_record.mean_reward == seq_record.mean_reward
+assert vec_record.stats.kl == seq_record.stats.kl
+print("\nvectorised epoch reproduced the sequential epoch exactly "
+      "(same rewards, same update statistics).")

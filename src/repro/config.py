@@ -71,10 +71,14 @@ class TrainConfig:
     use_trajectory_filter: bool = False
     filter_probe_samples: int = 200   # SJF probes to build the Fig. 7 distribution
     filter_phase1_fraction: float = 0.6  # fraction of epochs in filtered phase
+    vectorized: bool = True       # collect rollouts through VecSchedGym
+    n_envs: int = 16              # environments stepped in lock-step
 
     def __post_init__(self) -> None:
         if min(self.epochs, self.trajectories_per_epoch, self.trajectory_length) <= 0:
             raise ValueError("training sizes must be positive")
+        if self.n_envs <= 0:
+            raise ValueError("n_envs must be positive")
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,7 @@ from .functional import (
     log_prob_of,
     masked_log_softmax,
     sample_action,
+    sample_action_batch,
 )
 from .networks import (
     POLICY_PRESETS,
@@ -35,6 +36,7 @@ __all__ = [
     "log_prob_of",
     "entropy",
     "sample_action",
+    "sample_action_batch",
     "greedy_action",
     "KernelPolicy",
     "MLPPolicy",

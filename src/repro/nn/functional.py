@@ -17,6 +17,7 @@ __all__ = [
     "log_prob_of",
     "entropy",
     "sample_action",
+    "sample_action_batch",
     "greedy_action",
 ]
 
@@ -66,6 +67,26 @@ def sample_action(log_probs_row: np.ndarray, rng: np.random.Generator) -> int:
     p = np.exp(log_probs_row - log_probs_row.max())
     p /= p.sum()
     return int(rng.choice(len(p), p=p))
+
+
+def sample_action_batch(
+    log_probs: np.ndarray, uniforms: np.ndarray
+) -> np.ndarray:
+    """Inverse-CDF sampling for a batch of categorical rows.
+
+    ``log_probs`` is ``(N, A)``; ``uniforms`` supplies one U[0,1) draw per
+    row (callers own the generators, e.g. one per trajectory).  Every row
+    is processed independently with per-row cumulative sums, so the action
+    drawn for a row depends only on that row and its own uniform — batch
+    composition cannot change anyone's sample, the property the
+    vectorised-rollout equivalence tests rely on.  Masked slots carry
+    probability ~0 and are never selected.
+    """
+    p = np.exp(log_probs - log_probs.max(axis=-1, keepdims=True))
+    cdf = np.cumsum(p, axis=-1)
+    thresholds = uniforms * cdf[:, -1]
+    actions = (cdf < thresholds[:, None]).sum(axis=-1)
+    return np.minimum(actions, log_probs.shape[-1] - 1).astype(np.int64)
 
 
 def greedy_action(log_probs_row: np.ndarray) -> int:

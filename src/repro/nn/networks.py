@@ -80,6 +80,17 @@ class KernelPolicy(Module):
         scores = self.kernel(x)          # (B*M, 1)
         return scores.reshape(b, m)
 
+    def score_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Scores for bare job rows, ``(K, F) -> (K,)``.
+
+        Because the kernel scores each job independently, acting paths can
+        skip the zero-padded slots entirely: gather the valid rows, score
+        K rows instead of B·M, and scatter back.  Row results are
+        identical to :meth:`forward` on the padded batch.
+        """
+        x = Tensor(np.asarray(rows, dtype=np.float64))
+        return self.kernel(x).numpy().reshape(-1)
+
 
 class MLPPolicy(Module):
     """Flat MLP over the concatenated observation (Table IV v1/v2/v3).

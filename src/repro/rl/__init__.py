@@ -2,7 +2,7 @@
 filtering, and the epoch training loop."""
 
 from .reward import RewardFn, combine_rewards, make_reward, reward_names
-from .buffer import TrajectoryBuffer
+from .buffer import TrajectoryBuffer, discount_cumsum
 from .ppo import PPOAgent, UpdateStats
 from .filtering import FilterRange, TrajectoryFilter, probe_distribution
 from .trainer import EpochRecord, Trainer, TrainingResult, train
@@ -13,6 +13,7 @@ __all__ = [
     "combine_rewards",
     "reward_names",
     "TrajectoryBuffer",
+    "discount_cumsum",
     "PPOAgent",
     "UpdateStats",
     "FilterRange",

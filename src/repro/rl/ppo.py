@@ -13,6 +13,7 @@ peak memory stays bounded on full paper-scale batches (25,600 steps).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.nn import (
     masked_log_softmax,
     no_grad,
     sample_action,
+    sample_action_batch,
 )
 
 __all__ = ["PPOAgent", "UpdateStats"]
@@ -64,18 +66,93 @@ class PPOAgent:
     # ------------------------------------------------------------------
     # acting
     # ------------------------------------------------------------------
-    def act(self, obs: np.ndarray, mask: np.ndarray) -> tuple[int, float, float]:
-        """Sample an action for one observation.
+    def act(
+        self,
+        obs: np.ndarray,
+        mask: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[int, float, float]:
+        """Sample an action for one observation (batch-size-1 legacy path).
 
         Returns ``(action, log_prob, value_estimate)`` — what the buffer
-        stores per step.
+        stores per step.  ``rng`` overrides the agent's sampling stream.
+        Note the trainer does NOT use this method: its rollouts go through
+        :meth:`act_batch`, whose inverse-CDF sampler consumes the
+        generator differently (one ``rng.random()`` per step vs
+        ``rng.choice``), so the two paths draw different actions from the
+        same stream.  This entry point serves simple scripted use and the
+        pre-vectorisation perf baseline.
         """
         with no_grad():
             logits = self.policy(obs[None], mask[None])
             log_probs = masked_log_softmax(logits, mask[None]).numpy()[0]
             value = float(self.value(obs[None]).numpy()[0])
-        action = sample_action(log_probs, self.rng)
+        action = sample_action(log_probs, rng if rng is not None else self.rng)
         return action, float(log_probs[action]), value
+
+    def log_probs_batch(self, obs: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        """Masked log-softmax over a batch, as a plain array (no grad).
+
+        Policies that score jobs independently (:class:`KernelPolicy`
+        exposes ``score_rows``) take a sparse path: only the K valid rows
+        across the batch go through the network instead of all N·M padded
+        slots.  The scattered logits match the dense forward row-for-row,
+        and the softmax arithmetic below mirrors
+        :func:`masked_log_softmax` operation-for-operation, so both paths
+        produce bit-identical log-probabilities.
+        """
+        masks = np.asarray(masks, dtype=bool)
+        if not masks.any(axis=-1).all():
+            raise ValueError("every row must have at least one valid action")
+        score_rows = getattr(self.policy, "score_rows", None)
+        if score_rows is None:
+            with no_grad():
+                logits = self.policy(obs, masks)
+                return masked_log_softmax(logits, masks).numpy()
+        i_idx, m_idx = np.nonzero(masks)
+        with no_grad():
+            scores = score_rows(obs[i_idx, m_idx])
+        logits = np.full(masks.shape, -1e9, dtype=np.float64)
+        logits[i_idx, m_idx] = scores
+        shift = logits.max(axis=-1, keepdims=True)
+        shifted = logits - shift
+        log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        return shifted - log_norm
+
+    def act_batch(
+        self,
+        obs: np.ndarray,
+        masks: np.ndarray,
+        rngs: "Sequence[np.random.Generator] | np.random.Generator | None" = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample actions for a batch of observations in one forward pass.
+
+        ``obs`` is ``(N, M, F)``, ``masks`` ``(N, M)``.  ``rngs`` is either
+        one generator shared by all rows or a sequence of N per-row
+        generators (the vectorised trainer passes per-trajectory streams).
+        Returns ``(actions, log_probs)``, both length N.  Value estimates
+        are intentionally *not* computed here — fetch them once per
+        finished episode via :meth:`value_batch`, which is both faster and
+        numerically identical between sequential and vectorised rollouts.
+        """
+        obs = np.asarray(obs)
+        n = obs.shape[0]
+        log_probs = self.log_probs_batch(obs, masks)
+        if rngs is None:
+            rngs = self.rng
+        if isinstance(rngs, np.random.Generator):
+            uniforms = rngs.random(n)
+        else:
+            # One draw per row from that row's own stream, in row order —
+            # a trajectory's sample depends only on its own generator.
+            uniforms = np.array([rng.random() for rng in rngs])
+        actions = sample_action_batch(log_probs, uniforms)
+        return actions, log_probs[np.arange(n), actions]
+
+    def value_batch(self, obs: np.ndarray) -> np.ndarray:
+        """Value estimates for a batch of observations: ``(B, M, F) -> (B,)``."""
+        with no_grad():
+            return self.value(np.asarray(obs)).numpy().copy()
 
     def act_greedy(self, obs: np.ndarray, mask: np.ndarray) -> int:
         """Deterministic test-time action (highest probability)."""
@@ -83,6 +160,28 @@ class PPOAgent:
             logits = self.policy(obs[None], mask[None])
             log_probs = masked_log_softmax(logits, mask[None]).numpy()[0]
         return int(np.argmax(log_probs))
+
+    def act_greedy_batch(self, obs: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        """Deterministic actions for a batch: argmax per row."""
+        return np.argmax(self.log_probs_batch(np.asarray(obs), masks), axis=-1)
+
+    def episode_log_probs(
+        self, obs: np.ndarray, masks: np.ndarray, actions: np.ndarray
+    ) -> np.ndarray:
+        """Canonical behaviour log-probs for one finished episode.
+
+        ``act_batch``'s per-step forwards batch *across environments*, and
+        BLAS kernels are not bit-reproducible across batch shapes — the
+        same observation scored inside different batches can differ in the
+        last ulp.  That never flips a sampled action, but it would leak
+        batch-layout noise into the stored log-probs.  Re-deriving them
+        from one per-episode ``(T, M, F)`` batch (same shape and content
+        whether the episode was collected sequentially or vectorised)
+        makes the recorded trajectory data exactly
+        collection-order-independent.
+        """
+        log_probs = self.log_probs_batch(np.asarray(obs), masks)
+        return log_probs[np.arange(len(actions)), np.asarray(actions)]
 
     # ------------------------------------------------------------------
     # learning

@@ -10,6 +10,27 @@ everything.
 
 The per-epoch mean metric values form the training curves of
 Figs. 8-13.
+
+Vectorised rollouts
+-------------------
+With ``TrainConfig.vectorized`` (the default) the epoch's trajectories are
+collected through :class:`~repro.sim.vec_env.VecSchedGym`:
+``TrainConfig.n_envs`` environments step in lock-step, and every policy
+forward serves all of them at once via :meth:`PPOAgent.act_batch`.  Value
+estimates are deferred to one batched :meth:`PPOAgent.value_batch` call
+per finished episode in *both* modes, so the two collection paths produce
+bit-identical trajectories, advantages and update statistics for the same
+seed:
+
+* each trajectory owns a dedicated action-sampling RNG stream derived from
+  ``(seed, epoch, trajectory index)`` — interleaving environments cannot
+  reorder anybody's random draws;
+* sequences are sampled (and filter-checked) in trajectory order before
+  stepping begins;
+* episodes enter the :class:`TrajectoryBuffer` in trajectory order.
+
+``benchmarks/perf/run_perf.py`` measures the resulting rollout speedup and
+records it in ``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -24,6 +45,7 @@ from repro.nn import Module, ValueMLP, make_policy
 from repro.schedulers.rl_scheduler import RLSchedulerPolicy
 from repro.sim.env import SchedGym
 from repro.sim.metrics import metric_by_name
+from repro.sim.vec_env import VecSchedGym
 from repro.workloads.sampler import SequenceSampler
 from repro.workloads.swf import SWFTrace
 
@@ -100,6 +122,12 @@ class Trainer:
     #: give up resampling a filtered sequence after this many rejections
     MAX_FILTER_TRIES = 64
 
+    #: RNG-stream tags: each trajectory samples actions from
+    #: default_rng([seed, tag, ...]) so sequential and vectorised rollouts
+    #: draw identical action sequences regardless of interleaving.
+    _ACT_STREAM = 7919
+    _PROBE_STREAM = 104_729
+
     def __init__(
         self,
         trace: SWFTrace,
@@ -129,7 +157,10 @@ class Trainer:
         self.sampler = SequenceSampler(
             trace, self.train_config.trajectory_length, seed=seed
         )
-        self._sample_rng = np.random.default_rng(seed + 2)
+        n_vec = min(self.train_config.n_envs, self.train_config.trajectories_per_epoch)
+        self.vec_env = VecSchedGym(
+            n_vec, trace.max_procs, make_reward(metric), config=self.env_config
+        )
 
         # Terminal rewards span orders of magnitude across metrics (bsld in
         # the hundreds, util in [0,1]).  The value network regresses raw
@@ -147,6 +178,12 @@ class Trainer:
             trace, self.train_config.trajectory_length, seed=seed + 4
         )
         self._val_sequences = val_sampler.sample_many(3)
+        self._val_env = VecSchedGym(
+            len(self._val_sequences),
+            trace.max_procs,
+            make_reward(metric),
+            config=self.env_config,
+        )
 
         self.filter: TrajectoryFilter | None = None
         if self.train_config.use_trajectory_filter:
@@ -176,18 +213,98 @@ class Trainer:
                 # sample rather than spinning forever.
                 return jobs, rejected
 
-    def _rollout(self, jobs, buffer: TrajectoryBuffer) -> float:
-        """One trajectory through SchedGym; returns the raw terminal reward."""
+    def _traj_rng(self, epoch: int, traj: int) -> np.random.Generator:
+        """The action-sampling stream owned by one trajectory."""
+        return np.random.default_rng(
+            [self.train_config.seed, self._ACT_STREAM, epoch, traj]
+        )
+
+    def _rollout(
+        self,
+        jobs,
+        buffer: TrajectoryBuffer,
+        rng: np.random.Generator,
+        slot: int = 0,
+    ) -> float:
+        """One trajectory through SchedGym; returns the raw terminal reward.
+
+        Uses the same batched agent entry points as the vectorised
+        collector (with batch width 1) and defers value estimation to one
+        per-episode forward, so both collection modes are numerically
+        interchangeable.
+        """
         obs, mask = self.env.reset(jobs)
         while True:
-            action, log_prob, value = self.agent.act(obs, mask)
-            buffer.store(obs, mask, action, log_prob, value)
-            result = self.env.step(action)
+            actions, log_probs = self.agent.act_batch(obs[None], mask[None], [rng])
+            buffer.store_batch(obs[None], mask[None], actions, log_probs, slots=[slot])
+            result = self.env.step(int(actions[0]))
             if result.done:
                 scale = self._reward_scale or 1.0
-                buffer.end_episode(result.reward / scale)
+                buffer.end_slot(
+                    slot, result.reward / scale, **self._episode_targets(buffer, slot)
+                )
                 return result.reward
             obs, mask = result.observation, result.action_mask
+
+    def _episode_targets(self, buffer: TrajectoryBuffer, slot: int) -> dict:
+        """Per-episode value estimates and canonical behaviour log-probs.
+
+        Both run on one ``(T, M, F)`` batch of the finished episode, so the
+        numbers are identical whether the episode was collected
+        sequentially or inside a vectorised wave (BLAS results depend on
+        batch shape; per-episode batches make the shape canonical)."""
+        ep_obs = buffer.staged_obs(slot)
+        ep_masks = buffer.staged_masks(slot)
+        ep_actions = buffer.staged_actions(slot)
+        return {
+            "values": self.agent.value_batch(ep_obs),
+            "log_probs": self.agent.episode_log_probs(ep_obs, ep_masks, ep_actions),
+        }
+
+    def _collect_vectorized(
+        self,
+        sequences: list,
+        rngs: list[np.random.Generator],
+        buffer: TrajectoryBuffer,
+    ) -> list[float]:
+        """Roll all sequences through the vec env; rewards by trajectory."""
+        vec = self.vec_env
+        n = min(vec.n_envs, len(sequences))
+        obs, masks = vec.reset(sequences[:n])
+        vec.queue_sequences(sequences[n:])
+        traj_of_env = list(range(n))
+        next_traj = n
+        rewards: list[float] = [0.0] * len(sequences)
+        scale = self._reward_scale or 1.0
+        while True:
+            active_idx = np.flatnonzero(vec.active)
+            if not len(active_idx):
+                break
+            slots = [traj_of_env[i] for i in active_idx]
+            a_obs = obs[active_idx]
+            a_masks = masks[active_idx]
+            actions, log_probs = self.agent.act_batch(
+                a_obs, a_masks, [rngs[s] for s in slots]
+            )
+            buffer.store_batch(a_obs, a_masks, actions, log_probs, slots=slots)
+            full_actions = np.full(vec.n_envs, -1, dtype=np.int64)
+            full_actions[active_idx] = actions
+            result = vec.step(full_actions)
+            for i in active_idx:
+                if not result.dones[i]:
+                    continue
+                slot = traj_of_env[i]
+                buffer.end_slot(
+                    slot,
+                    result.rewards[i] / scale,
+                    **self._episode_targets(buffer, slot),
+                )
+                rewards[slot] = float(result.rewards[i])
+                if result.infos[i].get("auto_reset"):
+                    traj_of_env[i] = next_traj
+                    next_traj += 1
+            obs, masks = result.observations, result.action_masks
+        return rewards
 
     def run_epoch(self, epoch: int) -> EpochRecord:
         cfg = self.train_config
@@ -202,14 +319,26 @@ class Trainer:
             # Calibrate the reward scale with one throwaway rollout so the
             # very first update already sees well-conditioned value targets.
             probe_jobs, _ = self._sample_sequence(filtered)
-            probe_reward = self._rollout(probe_jobs, TrajectoryBuffer())
+            probe_rng = np.random.default_rng(
+                [cfg.seed, self._PROBE_STREAM, epoch]
+            )
+            probe_reward = self._rollout(probe_jobs, TrajectoryBuffer(), probe_rng)
             self._reward_scale = max(abs(probe_reward), 1e-6)
 
-        rewards, total_rejected = [], 0
+        sequences, total_rejected = [], 0
         for _ in range(cfg.trajectories_per_epoch):
             jobs, rejected = self._sample_sequence(filtered)
             total_rejected += rejected
-            rewards.append(self._rollout(jobs, buffer))
+            sequences.append(jobs)
+        rngs = [self._traj_rng(epoch, t) for t in range(len(sequences))]
+
+        if cfg.vectorized:
+            rewards = self._collect_vectorized(sequences, rngs, buffer)
+        else:
+            rewards = [
+                self._rollout(jobs, buffer, rngs[t], slot=t)
+                for t, jobs in enumerate(sequences)
+            ]
 
         stats = self.agent.update(buffer.get())
         mean_reward = float(np.mean(rewards))
@@ -226,16 +355,26 @@ class Trainer:
         )
 
     def _validate(self) -> float:
-        """Greedy-policy reward over the held-out validation sequences."""
-        rewards = []
-        for jobs in self._val_sequences:
-            obs, mask = self.env.reset([j.copy() for j in jobs])
-            while True:
-                result = self.env.step(self.agent.act_greedy(obs, mask))
-                if result.done:
-                    rewards.append(result.reward)
-                    break
-                obs, mask = result.observation, result.action_mask
+        """Greedy-policy reward over the held-out validation sequences.
+
+        Runs all validation sequences through a small vec env so each
+        policy forward serves every sequence at once.
+        """
+        vec = self._val_env
+        obs, masks = vec.reset(
+            [[j.copy() for j in jobs] for jobs in self._val_sequences]
+        )
+        rewards = np.zeros(vec.n_envs)
+        while True:
+            active_idx = np.flatnonzero(vec.active)
+            if not len(active_idx):
+                break
+            actions = self.agent.act_greedy_batch(obs[active_idx], masks[active_idx])
+            full_actions = np.full(vec.n_envs, -1, dtype=np.int64)
+            full_actions[active_idx] = actions
+            result = vec.step(full_actions)
+            rewards[result.dones] = result.rewards[result.dones]
+            obs, masks = result.observations, result.action_masks
         return float(np.mean(rewards))
 
     def train(self, progress: bool = False) -> TrainingResult:

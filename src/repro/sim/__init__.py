@@ -9,7 +9,15 @@ from .backfill import (
     shadow_time_and_extra,
 )
 from .simulator import SchedulingEngine, run_scheduler
-from .env import SchedGym, StepResult
+from .env import (
+    FeatureCache,
+    SchedGym,
+    StepResult,
+    build_observation,
+    build_observation_loop,
+    stable_user_hash,
+)
+from .vec_env import VecSchedGym, VecStepResult
 from .metrics import (
     BSLD_THRESHOLD,
     METRICS,
@@ -38,8 +46,14 @@ __all__ = [
     "shadow_time_and_extra",
     "SchedulingEngine",
     "run_scheduler",
+    "FeatureCache",
     "SchedGym",
     "StepResult",
+    "build_observation",
+    "build_observation_loop",
+    "stable_user_hash",
+    "VecSchedGym",
+    "VecStepResult",
     "BSLD_THRESHOLD",
     "METRICS",
     "average_bounded_slowdown",

@@ -32,17 +32,29 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of events ordered by (time, kind, job_id)."""
+    """Min-heap of events ordered by (time, kind, job_id).
+
+    Internally the heap holds plain tuples so sift comparisons run at
+    C speed (dataclass ``__lt__`` is a Python call per comparison — a
+    measurable cost at millions of events per training run); the public
+    API still speaks :class:`Event`.  :meth:`pop_raw` exposes the tuple
+    directly for the engine's hot loop.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Job]] = []
 
     def push(self, time: float, kind: EventKind, job: Job) -> None:
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
-        heapq.heappush(self._heap, Event(time, kind, job.job_id, job))
+        heapq.heappush(self._heap, (time, int(kind), job.job_id, job))
 
     def pop(self) -> Event:
+        time, kind, job_id, job = self.pop_raw()
+        return Event(time, EventKind(kind), job_id, job)
+
+    def pop_raw(self) -> tuple[float, int, int, Job]:
+        """Pop the next event as a bare ``(time, kind, job_id, job)`` tuple."""
         if not self._heap:
             raise IndexError("pop from empty event queue")
         return heapq.heappop(self._heap)
@@ -50,11 +62,12 @@ class EventQueue:
     def peek(self) -> Event:
         if not self._heap:
             raise IndexError("peek at empty event queue")
-        return self._heap[0]
+        time, kind, job_id, job = self._heap[0]
+        return Event(time, EventKind(kind), job_id, job)
 
     @property
     def next_time(self) -> float | None:
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -20,6 +20,7 @@ benches) and :class:`repro.sim.env.SchedGym` (the RL training env).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Sequence
 
 from repro.workloads.job import Job
@@ -43,6 +44,16 @@ class SchedulingEngine:
             engine.commit(job)
             engine.advance_until_decision()
         completed = engine.completed
+
+    Hot-path invariants (relied on by the vectorised rollout path):
+
+    * ``pending`` is kept sorted by ``(submit_time, job_id)`` — FCFS order —
+      at all times, so observation building never re-sorts it.  Arrivals
+      pop off the event heap in exactly that order, so maintaining the
+      invariant is an O(1) append; removals locate the job by bisection.
+    * running jobs are tracked in an insertion-ordered id map, making the
+      per-finish-event removal O(1) instead of an O(n) list scan with the
+      full dataclass ``__eq__``.
     """
 
     #: accepted backfilling modes (True is an alias for "easy")
@@ -70,8 +81,15 @@ class SchedulingEngine:
         self.cluster = Cluster(n_procs)
         self.backfill = backfill
         self.now = 0.0
+        #: waiting jobs, always sorted by (submit_time, job_id) — FCFS order
         self.pending: list[Job] = []
-        self.running: list[Job] = []
+        self._pending_keys: list[tuple[float, int]] = []  # parallel to pending
+        #: row index of each pending job within ``self.jobs`` (parallel to
+        #: ``pending``); observation builders gather precomputed per-job
+        #: feature columns by these rows without any per-step lookups
+        self.pending_rows: list[int] = []
+        self._row_of = {j.job_id: i for i, j in enumerate(self.jobs)}
+        self._running: dict[int, Job] = {}  # job_id -> Job, insertion-ordered
         self.completed: list[Job] = []
         self._events = EventQueue()
         for j in self.jobs:
@@ -86,26 +104,60 @@ class SchedulingEngine:
     def n_jobs(self) -> int:
         return len(self.jobs)
 
+    @property
+    def running(self) -> list[Job]:
+        """Currently executing jobs, in start order."""
+        return list(self._running.values())
+
     # ------------------------------------------------------------------
+    def _pending_index(self, job: Job) -> int:
+        """Index of ``job`` in the sorted pending list, or -1."""
+        key = (job.submit_time, job.job_id)
+        i = bisect_left(self._pending_keys, key)
+        if i < len(self.pending):
+            found = self.pending[i]
+            # identity first: committed jobs are the engine's own objects,
+            # and the dataclass __eq__ compares all 19 fields
+            if found is job or found == job:
+                return i
+        return -1
+
     def _start(self, job: Job) -> None:
         """Allocate and launch ``job`` at the current time."""
         self.cluster.allocate(job)
         job.start_time = self.now
-        self.pending.remove(job)
-        self.running.append(job)
+        i = self._pending_index(job)
+        if i < 0:  # mirrors the old list.remove(job) contract
+            raise ValueError(f"job {job.job_id} is not pending")
+        del self.pending[i]
+        del self._pending_keys[i]
+        del self.pending_rows[i]
+        self._running[job.job_id] = job
         self._events.push(job.end_time, EventKind.FINISH, job)
 
     def _process_next_event(self) -> None:
         """Advance the clock to the next event and apply it."""
-        event = self._events.pop()
-        assert event.time >= self.now, "event queue went backwards in time"
-        self.now = event.time
-        if event.kind is EventKind.FINISH:
-            self.cluster.release(event.job)
-            self.running.remove(event.job)
-            self.completed.append(event.job)
+        time, kind, job_id, job = self._events.pop_raw()
+        assert time >= self.now, "event queue went backwards in time"
+        self.now = time
+        if kind == EventKind.FINISH:
+            self.cluster.release(job)
+            del self._running[job_id]
+            self.completed.append(job)
         else:
-            self.pending.append(event.job)
+            # Arrivals pop in (time, job_id) order, so appending preserves
+            # the FCFS sort; the bisect branch is a safety net for exotic
+            # callers that push out-of-order arrivals.
+            key = (time, job_id)
+            if not self._pending_keys or key >= self._pending_keys[-1]:
+                self.pending.append(job)
+                self._pending_keys.append(key)
+                self.pending_rows.append(self._row_of[job_id])
+            else:
+                i = bisect_left(self._pending_keys, key)
+                self.pending.insert(i, job)
+                self._pending_keys.insert(i, key)
+                self.pending_rows.insert(i, self._row_of[job_id])
 
     def advance_until_decision(self) -> bool:
         """Run events until a scheduling decision is needed.
@@ -121,7 +173,7 @@ class SchedulingEngine:
 
     def commit(self, job: Job) -> None:
         """Commit to starting ``job``: wait (and backfill) until it fits."""
-        if job not in self.pending:
+        if self._pending_index(job) < 0:
             raise ValueError(f"job {job.job_id} is not pending")
         while not self.cluster.can_allocate(job):
             if self.backfill:
@@ -137,12 +189,13 @@ class SchedulingEngine:
         self._start(job)
 
     def _backfill_pass(self, head: Job) -> list[Job]:
+        running = list(self._running.values())
         if self.backfill == "conservative":
             return conservative_backfill_candidates(
-                head, self.pending, self.running, self.cluster, self.now
+                head, self.pending, running, self.cluster, self.now
             )
         return backfill_candidates(
-            head, self.pending, self.running, self.cluster, self.now
+            head, self.pending, running, self.cluster, self.now
         )
 
 

@@ -1,0 +1,176 @@
+"""VecSchedGym: N SchedGym environments stepped in lock-step.
+
+The RL training loop is dominated by per-step overhead: a batch-size-1
+policy forward, a batch-size-1 value forward, and one observation build
+per environment step.  Stepping N environments together amortises all of
+it — one ``(N, M, F)`` network call serves N environments, and the
+Python-side event simulation is the only per-environment cost left.
+
+Protocol
+--------
+::
+
+    vec = VecSchedGym(n_envs, n_procs, reward_fn, config)
+    obs, masks = vec.reset(sequences[:n_envs])   # (N, M, F), (N, M)
+    vec.queue_sequences(sequences[n_envs:])      # auto-reset backlog
+    while vec.active.any():
+        actions = <one per active env; -1 for inactive>
+        result = vec.step(actions)
+        # result.dones[i] marks episode ends; result.rewards[i] carries the
+        # terminal sequence reward.  If the backlog is non-empty the env
+        # auto-resets and result.observations[i] is the *new* episode's
+        # first observation (result.infos[i]["auto_reset"] is True);
+        # otherwise the env deactivates and its rows are zeros.
+
+Each wrapped environment is a plain :class:`~repro.sim.env.SchedGym`, so a
+vectorised rollout is step-for-step identical to running the N episodes
+one after another — the property the golden equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.config import EnvConfig
+from repro.workloads.job import Job
+
+from .env import SchedGym
+
+__all__ = ["VecSchedGym", "VecStepResult"]
+
+
+@dataclass(frozen=True)
+class VecStepResult:
+    """Stacked step outcome for all environments (inactive rows zeroed)."""
+
+    observations: np.ndarray    # (N, M, F) float32
+    rewards: np.ndarray         # (N,) float64, non-zero only on done steps
+    dones: np.ndarray           # (N,) bool, True where an episode just ended
+    action_masks: np.ndarray    # (N, M) bool
+    infos: list[dict]
+
+
+class VecSchedGym:
+    """N :class:`SchedGym` environments advanced in lock-step.
+
+    Parameters mirror :class:`SchedGym`; ``n_envs`` adds the batch width.
+    Sequences beyond the first ``n_envs`` can be queued for automatic
+    per-env resets, so an arbitrary number of trajectories streams through
+    a fixed set of environments.
+    """
+
+    def __init__(
+        self,
+        n_envs: int,
+        n_procs: int,
+        reward_fn: Callable[[Sequence[Job], int], float],
+        config: EnvConfig | None = None,
+    ):
+        if n_envs <= 0:
+            raise ValueError("n_envs must be positive")
+        self.config = config or EnvConfig()
+        self.envs = [SchedGym(n_procs, reward_fn, self.config) for _ in range(n_envs)]
+        self._active = np.zeros(n_envs, dtype=bool)
+        self._queue: deque[Sequence[Job]] = deque()
+        m, f = self.config.observation_shape
+        self._obs = np.zeros((n_envs, m, f), dtype=np.float32)
+        self._masks = np.zeros((n_envs, m), dtype=bool)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_envs(self) -> int:
+        return len(self.envs)
+
+    @property
+    def active(self) -> np.ndarray:
+        """Boolean mask of environments with an episode in progress."""
+        return self._active.copy()
+
+    @property
+    def all_done(self) -> bool:
+        return not self._active.any()
+
+    @property
+    def n_queued(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def reset(
+        self, sequences: Sequence[Sequence[Job]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Start one episode per sequence; returns stacked (obs, masks).
+
+        At most ``n_envs`` sequences may be passed; queue the rest with
+        :meth:`queue_sequences`.  Environments beyond ``len(sequences)``
+        stay inactive (zero rows, all-False masks).
+        """
+        if not sequences:
+            raise ValueError("reset() needs at least one job sequence")
+        if len(sequences) > self.n_envs:
+            raise ValueError(
+                f"{len(sequences)} sequences for {self.n_envs} envs; queue the "
+                "surplus with queue_sequences()"
+            )
+        self._queue.clear()
+        self._obs[:] = 0.0
+        self._masks[:] = False
+        self._active[:] = False
+        for i, seq in enumerate(sequences):
+            obs, mask = self.envs[i].reset(seq)
+            self._obs[i] = obs
+            self._masks[i] = mask
+            self._active[i] = True
+        return self._obs.copy(), self._masks.copy()
+
+    def queue_sequences(self, sequences: Sequence[Sequence[Job]]) -> None:
+        """Add sequences to the auto-reset backlog (FIFO)."""
+        self._queue.extend(sequences)
+
+    def step(self, actions: np.ndarray) -> VecStepResult:
+        """Advance every active environment by one action.
+
+        ``actions`` has one entry per environment; entries for inactive
+        environments are ignored (use -1 by convention).  Environments are
+        processed in index order, so queued sequences are assigned to the
+        lowest-index finishing env first — the deterministic bookkeeping
+        the equivalence tests rely on.
+        """
+        actions = np.asarray(actions)
+        if actions.shape != (self.n_envs,):
+            raise ValueError(
+                f"expected {self.n_envs} actions, got shape {actions.shape}"
+            )
+        if not self._active.any():
+            raise RuntimeError("all environments are done; call reset()")
+        rewards = np.zeros(self.n_envs, dtype=np.float64)
+        dones = np.zeros(self.n_envs, dtype=bool)
+        infos: list[dict] = [{} for _ in range(self.n_envs)]
+        for i in np.flatnonzero(self._active):
+            result = self.envs[i].step(int(actions[i]))
+            infos[i] = dict(result.info)
+            if not result.done:
+                self._obs[i] = result.observation
+                self._masks[i] = result.action_mask
+                continue
+            rewards[i] = result.reward
+            dones[i] = True
+            if self._queue:
+                obs, mask = self.envs[i].reset(self._queue.popleft())
+                self._obs[i] = obs
+                self._masks[i] = mask
+                infos[i]["auto_reset"] = True
+            else:
+                self._obs[i] = 0.0
+                self._masks[i] = False
+                self._active[i] = False
+        return VecStepResult(
+            observations=self._obs.copy(),
+            rewards=rewards,
+            dones=dones,
+            action_masks=self._masks.copy(),
+            infos=infos,
+        )

@@ -23,7 +23,7 @@ not be available to the schedulers, instead, only the requested runtime").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 __all__ = ["Job", "SWF_FIELD_NAMES"]
 
@@ -149,8 +149,33 @@ class Job:
         return max(0.0, now - self.submit_time)
 
     def copy(self) -> "Job":
-        """Fresh, unscheduled copy (simulations must not mutate the trace)."""
-        return replace(self, start_time=-1.0)
+        """Fresh, unscheduled copy (simulations must not mutate the trace).
+
+        Hand-rolled slot copy: ``dataclasses.replace`` re-runs ``__init__``
+        and validation on every call, which dominates engine construction
+        when the vectorised rollout resets N environments at once.
+        """
+        new = object.__new__(Job)
+        new.job_id = self.job_id
+        new.submit_time = self.submit_time
+        new.run_time = self.run_time
+        new.requested_procs = self.requested_procs
+        new.requested_time = self.requested_time
+        new.requested_mem = self.requested_mem
+        new.user_id = self.user_id
+        new.group_id = self.group_id
+        new.executable_id = self.executable_id
+        new.queue_id = self.queue_id
+        new.partition_id = self.partition_id
+        new.status = self.status
+        new.wait_time = self.wait_time
+        new.used_procs = self.used_procs
+        new.used_avg_cpu = self.used_avg_cpu
+        new.used_mem = self.used_mem
+        new.preceding_job_id = self.preceding_job_id
+        new.think_time = self.think_time
+        new.start_time = -1.0
+        return new
 
     def __repr__(self) -> str:  # compact: the default dataclass repr is huge
         return (

@@ -48,6 +48,16 @@ class TestMechanics:
         buf.clear()
         assert buf.n_steps == 0
 
+    def test_clear_keeps_hyperparams_and_is_reusable(self):
+        buf = TrajectoryBuffer(gamma=0.5, lam=1.0)
+        fill_episode(buf, 3)
+        buf.clear()
+        assert buf.gamma == 0.5 and buf.n_episodes == 0
+        fill_episode(buf, 3, terminal=8.0)
+        np.testing.assert_allclose(
+            buf.get(normalize_advantages=False)["returns"], [2.0, 4.0, 8.0]
+        )
+
 
 class TestReturns:
     def test_terminal_reward_propagates_with_gamma_one(self):
@@ -84,6 +94,79 @@ class TestReturns:
         fill_episode(buf, 2, terminal=-100.0)
         data = buf.get(normalize_advantages=False)
         np.testing.assert_allclose(data["returns"], [100, 100, -100, -100])
+
+
+class TestBatchedPath:
+    """store_batch/end_slot — the vectorised-rollout ingestion path."""
+
+    def test_equals_scalar_path(self):
+        """The same steps through both paths produce identical arrays."""
+        scalar = TrajectoryBuffer(gamma=1.0, lam=0.97)
+        for _ in range(2):
+            fill_episode(scalar, 4, values=[1.0, 2.0, 3.0, 4.0], terminal=10.0)
+        batched = TrajectoryBuffer(gamma=1.0, lam=0.97)
+        vals = np.array([[1.0, 2.0, 3.0, 4.0]] * 2)
+        for t in range(4):
+            batched.store_batch(
+                np.zeros((2, *OBS_SHAPE), np.float32),
+                np.ones((2, 4), bool),
+                np.full(2, t % 4),
+                -np.ones(2),
+                slots=[0, 1],
+            )
+        for slot in range(2):
+            batched.end_slot(slot, 10.0, values=vals[slot])
+        a = scalar.get(normalize_advantages=False)
+        b = batched.get(normalize_advantages=False)
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])
+
+    def test_deferred_values_required_at_end(self):
+        buf = TrajectoryBuffer()
+        buf.store_batch(
+            np.zeros((1, *OBS_SHAPE), np.float32), np.ones((1, 4), bool),
+            [0], [-1.0], slots=[7],
+        )
+        with pytest.raises(RuntimeError, match="deferred value"):
+            buf.end_slot(7, 1.0)
+
+    def test_end_unknown_slot(self):
+        with pytest.raises(RuntimeError, match="no stored steps"):
+            TrajectoryBuffer().end_slot(3, 0.0)
+
+    def test_staged_obs_shape(self):
+        buf = TrajectoryBuffer()
+        for _ in range(5):
+            buf.store_batch(
+                np.zeros((2, *OBS_SHAPE), np.float32), np.ones((2, 4), bool),
+                [0, 1], [-1.0, -1.0], slots=[0, 1],
+            )
+        assert buf.staged_obs(1).shape == (5, *OBS_SHAPE)
+
+    def test_out_of_order_slots_sorted_in_get(self):
+        """Episodes closed out of slot order still concatenate by slot id."""
+        buf = TrajectoryBuffer(gamma=1.0, lam=1.0)
+        for slot, steps in [(0, 2), (1, 3)]:
+            for _ in range(steps):
+                buf.store_batch(
+                    np.zeros((1, *OBS_SHAPE), np.float32),
+                    np.ones((1, 4), bool), [slot], [-1.0], slots=[slot],
+                )
+        buf.end_slot(1, terminal_reward=-1.0, values=np.zeros(3))
+        buf.end_slot(0, terminal_reward=1.0, values=np.zeros(2))
+        data = buf.get(normalize_advantages=False)
+        np.testing.assert_array_equal(data["actions"], [0, 0, 1, 1, 1])
+        np.testing.assert_array_equal(data["returns"], [1, 1, -1, -1, -1])
+
+    def test_open_slot_blocks_get(self):
+        buf = TrajectoryBuffer()
+        fill_episode(buf, 2)
+        buf.store_batch(
+            np.zeros((1, *OBS_SHAPE), np.float32), np.ones((1, 4), bool),
+            [0], [-1.0], slots=[0],
+        )
+        with pytest.raises(RuntimeError, match="still open"):
+            buf.get()
 
 
 class TestGetArrays:

@@ -93,3 +93,23 @@ class TestDerived:
         assert len(SWF_FIELD_NAMES) == 18
         assert SWF_FIELD_NAMES[0] == "job_id"
         assert SWF_FIELD_NAMES[-1] == "think_time"
+
+
+def test_copy_covers_every_dataclass_field():
+    """Job.copy() assigns slots by hand for speed; this pins it against
+    field drift — adding a Job field without updating copy() must fail
+    here, not as a far-away AttributeError."""
+    import dataclasses
+
+    from repro.workloads import Job
+
+    job = Job(job_id=1, submit_time=2.0, run_time=3.0, requested_procs=4,
+              requested_time=5.0, requested_mem=6.0, user_id=7, group_id=8,
+              executable_id=9, queue_id=10, partition_id=11, status=0,
+              wait_time=12.0, used_procs=13, used_avg_cpu=14.0, used_mem=15.0,
+              preceding_job_id=16, think_time=17.0)
+    job.start_time = 99.0
+    clone = job.copy()
+    for f in dataclasses.fields(Job):
+        expected = -1.0 if f.name == "start_time" else getattr(job, f.name)
+        assert getattr(clone, f.name) == expected, f.name

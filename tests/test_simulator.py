@@ -149,3 +149,43 @@ class TestDeterminism:
         s1 = sorted((j.job_id, j.start_time) for j in d1)
         s2 = sorted((j.job_id, j.start_time) for j in d2)
         assert s1 == s2
+
+
+class TestHotPathInvariants:
+    """The vectorised observation path relies on these engine properties."""
+
+    def test_pending_always_fcfs_sorted(self, lublin_trace):
+        from repro.sim import SchedulingEngine
+
+        seq = [j.copy() for j in lublin_trace.jobs[:80]]
+        engine = SchedulingEngine(seq, lublin_trace.max_procs, backfill=True)
+        while engine.advance_until_decision():
+            keys = [(j.submit_time, j.job_id) for j in engine.pending]
+            assert keys == sorted(keys)
+            # SJF-style pick from the middle exercises mid-list removal
+            engine.commit(min(engine.pending, key=lambda j: j.requested_time))
+        assert engine.done
+
+    def test_commit_foreign_job_raises(self, tiny_jobs):
+        from repro.sim import SchedulingEngine
+        from repro.workloads import Job
+
+        engine = SchedulingEngine(tiny_jobs, 4)
+        engine.advance_until_decision()
+        foreign = Job(job_id=99, submit_time=0.0, run_time=5.0, requested_procs=1)
+        with pytest.raises(ValueError, match="not pending"):
+            engine.commit(foreign)
+
+    def test_running_property_in_start_order(self, tiny_jobs):
+        from repro.sim import SchedulingEngine
+
+        engine = SchedulingEngine(tiny_jobs, 4)
+        engine.advance_until_decision()
+        engine.commit(next(j for j in engine.pending if j.job_id == 1))
+        engine.advance_until_decision()
+        engine.commit(next(j for j in engine.pending if j.job_id == 2))
+        assert [j.job_id for j in engine.running] == [1, 2]
+        # job 3 needs the full machine: committing it drains 1 and 2 first
+        engine.advance_until_decision()
+        engine.commit(next(j for j in engine.pending if j.job_id == 3))
+        assert [j.job_id for j in engine.running] == [3]

@@ -1,0 +1,147 @@
+"""Unit tests for VecSchedGym: lock-step semantics, auto-reset, padding."""
+
+import numpy as np
+import pytest
+
+from repro.config import EnvConfig
+from repro.rl import make_reward
+from repro.sim import SchedGym, VecSchedGym
+from repro.workloads import Job
+
+
+CFG = EnvConfig(max_obsv_size=4)
+
+
+def job(jid, submit, run, procs, user=0):
+    return Job(job_id=jid, submit_time=submit, run_time=run,
+               requested_procs=procs, requested_time=run, user_id=user)
+
+
+def sequence(seed, n=5):
+    rng = np.random.default_rng(seed)
+    return [
+        job(i + 1, submit=float(i), run=float(rng.integers(5, 50)),
+            procs=int(rng.integers(1, 4)))
+        for i in range(n)
+    ]
+
+
+def make_vec(n_envs=3):
+    return VecSchedGym(n_envs, 8, make_reward("bsld"), config=CFG)
+
+
+class TestReset:
+    def test_shapes(self):
+        vec = make_vec(3)
+        obs, masks = vec.reset([sequence(0), sequence(1), sequence(2)])
+        assert obs.shape == (3, 4, CFG.job_features)
+        assert masks.shape == (3, 4)
+        assert vec.active.all()
+
+    def test_partial_fill_pads_with_inactive(self):
+        vec = make_vec(3)
+        obs, masks = vec.reset([sequence(0)])
+        assert vec.active.tolist() == [True, False, False]
+        assert (obs[1:] == 0).all()
+        assert not masks[1:].any()
+
+    def test_too_many_sequences_rejected(self):
+        vec = make_vec(2)
+        with pytest.raises(ValueError, match="queue the"):
+            vec.reset([sequence(i) for i in range(3)])
+
+    def test_empty_reset_rejected(self):
+        with pytest.raises(ValueError):
+            make_vec().reset([])
+
+
+class TestStep:
+    def test_matches_single_env_in_lockstep(self):
+        """Each vec slot must evolve exactly like a lone SchedGym."""
+        seqs = [sequence(10), sequence(11)]
+        vec = make_vec(2)
+        v_obs, v_masks = vec.reset([[j.copy() for j in s] for s in seqs])
+
+        refs = [SchedGym(8, make_reward("bsld"), CFG) for _ in seqs]
+        r_states = [ref.reset([j.copy() for j in s]) for ref, s in zip(refs, seqs)]
+
+        for i in range(2):
+            np.testing.assert_array_equal(v_obs[i], r_states[i][0])
+            np.testing.assert_array_equal(v_masks[i], r_states[i][1])
+
+        done = [False, False]
+        while not all(done):
+            actions = np.full(2, -1)
+            for i in range(2):
+                if not done[i]:
+                    actions[i] = int(np.flatnonzero(v_masks[i])[0])
+            result = vec.step(actions)
+            for i in range(2):
+                if done[i]:
+                    continue
+                ref_result = refs[i].step(int(actions[i]))
+                np.testing.assert_array_equal(
+                    result.observations[i], ref_result.observation
+                )
+                assert result.rewards[i] == ref_result.reward
+                assert bool(result.dones[i]) == ref_result.done
+                done[i] = ref_result.done
+            v_masks = result.action_masks
+
+    def test_wrong_action_shape(self):
+        vec = make_vec(2)
+        vec.reset([sequence(0), sequence(1)])
+        with pytest.raises(ValueError, match="expected 2 actions"):
+            vec.step(np.zeros(3, dtype=int))
+
+    def test_step_when_all_done(self):
+        vec = make_vec(1)
+        vec.reset([[job(1, 0, 10, 2)]])
+        result = vec.step(np.array([0]))
+        assert result.dones[0] and vec.all_done
+        with pytest.raises(RuntimeError, match="all environments are done"):
+            vec.step(np.array([-1]))
+
+
+class TestAutoReset:
+    def test_backlog_streams_through_envs(self):
+        """5 one-job sequences through 2 envs: 5 terminal rewards total."""
+        vec = make_vec(2)
+        seqs = [[job(i + 1, 0, 10 * (i + 1), 2)] for i in range(5)]
+        vec.reset(seqs[:2])
+        vec.queue_sequences(seqs[2:])
+        assert vec.n_queued == 3
+
+        finished = 0
+        auto_resets = 0
+        while not vec.all_done:
+            result = vec.step(np.zeros(2, dtype=int))
+            finished += int(result.dones.sum())
+            auto_resets += sum(
+                1 for info in result.infos if info.get("auto_reset")
+            )
+        assert finished == 5
+        assert auto_resets == 3
+        assert vec.n_queued == 0
+
+    def test_auto_reset_obs_is_new_episode_start(self):
+        vec = make_vec(1)
+        first = [job(1, 0, 10, 2)]
+        second = [job(7, 5.0, 20, 3)]
+        vec.reset([first])
+        vec.queue_sequences([second])
+        result = vec.step(np.array([0]))
+        assert result.dones[0] and result.infos[0]["auto_reset"]
+        ref = SchedGym(8, make_reward("bsld"), CFG)
+        ref_obs, ref_mask = ref.reset([j.copy() for j in second])
+        np.testing.assert_array_equal(result.observations[0], ref_obs)
+        np.testing.assert_array_equal(result.action_masks[0], ref_mask)
+
+    def test_deactivates_without_backlog(self):
+        vec = make_vec(2)
+        vec.reset([[job(1, 0, 10, 2)], [job(2, 0, 10, 2)]])
+        result = vec.step(np.zeros(2, dtype=int))
+        assert result.dones.all()
+        assert vec.all_done
+        assert (result.observations == 0).all()
+        assert not result.action_masks.any()

@@ -1,0 +1,150 @@
+"""Bench-regression gate: fail CI when rollout throughput drops.
+
+Compares a fresh ``run_perf.py`` result against the committed
+``BENCH_perf.json`` baseline at the same scale and exits non-zero when
+rollout performance regressed.  Two checks run, covering the two ways a
+regression can hide:
+
+* **absolute throughput** (``rollout.vectorized_steps_per_sec``): gates
+  when the baseline was recorded on comparable hardware (same machine /
+  core count / python major.minor); on different hardware a drop is
+  reported as advisory instead of failing — unless ``--strict`` forces
+  the gate.  Absolute steps/s across differently-sized CI runners would
+  otherwise be a standing false alarm.
+* **vectorization speedup ratio** (``rollout.speedup`` — vectorized vs
+  sequential throughput *within the same run*): hardware-independent, so
+  it gates on **every** platform.  Its tolerance is looser
+  (``--ratio-tolerance``, default 40%) because tiny smoke runs are
+  noisy; it exists to catch the vectorized path collapsing toward the
+  sequential one, which no runner change can excuse.
+
+Improvements and unrelated-metric noise never fail.  A baseline with no
+entry for the requested scale passes with a notice (first run on a new
+scale seeds the baseline).
+
+Usage::
+
+    cp BENCH_perf.json /tmp/baseline.json
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --scale smoke
+    python benchmarks/perf/check_regression.py \
+        --baseline /tmp/baseline.json --current BENCH_perf.json --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+METRIC = ("rollout", "vectorized_steps_per_sec")
+RATIO_METRIC = ("rollout", "speedup")
+
+
+def load_scale(path: Path, scale: str) -> dict | None:
+    doc = json.loads(path.read_text())
+    if "scales" in doc:
+        return doc["scales"].get(scale)
+    # pre-PR-2 flat document
+    return doc if doc.get("scale") == scale else None
+
+
+def describe(report: dict) -> str:
+    plat = report.get("platform", {})
+    return (f"python {plat.get('python', '?')}, numpy {plat.get('numpy', '?')}, "
+            f"{plat.get('machine', '?')}, {plat.get('cpu_count', '?')} cores")
+
+
+def _python_series(version) -> str:
+    """``"3.11.7" -> "3.11"`` — patch releases are throughput-comparable."""
+    return ".".join(str(version).split(".")[:2])
+
+
+def same_platform(a: dict, b: dict) -> bool:
+    pa, pb = a.get("platform", {}), b.get("platform", {})
+    if _python_series(pa.get("python")) != _python_series(pb.get("python")):
+        return False
+    return all(pa.get(k) == pb.get(k) for k in ("machine", "cpu_count"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument("--scale", default="smoke")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional throughput drop (0.2 = 20%%)")
+    parser.add_argument("--ratio-tolerance", type=float, default=0.4,
+                        help="allowed fractional drop of the vectorization "
+                             "speedup ratio; gates on any hardware "
+                             "(0.4 = 40%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on throughput drops even across platform "
+                             "changes")
+    args = parser.parse_args(argv)
+
+    if not 0 <= args.tolerance < 1:
+        parser.error("tolerance must be in [0, 1)")
+    if not 0 <= args.ratio_tolerance < 1:
+        parser.error("ratio-tolerance must be in [0, 1)")
+
+    base = load_scale(args.baseline, args.scale)
+    if base is None:
+        print(f"[bench-check] no {args.scale!r} baseline in {args.baseline}; "
+              "nothing to compare (baseline will seed on commit)")
+        return 0
+    cur = load_scale(args.current, args.scale)
+    if cur is None:
+        print(f"[bench-check] current run {args.current} has no "
+              f"{args.scale!r} entry", file=sys.stderr)
+        return 2
+
+    failed = False
+
+    # -- absolute throughput: gates on comparable hardware only ----------
+    section, key = METRIC
+    base_v = base[section][key]
+    cur_v = cur[section][key]
+    floor = base_v * (1.0 - args.tolerance)
+    print(f"[bench-check] scale={args.scale} {section}.{key}: "
+          f"baseline {base_v:,.0f} ({describe(base)})")
+    print(f"[bench-check]   current {cur_v:,.0f} ({describe(cur)}); "
+          f"floor {floor:,.0f} at {args.tolerance:.0%} tolerance")
+    if cur_v < floor:
+        drop = f"rollout throughput dropped {1 - cur_v / base_v:.1%} " \
+               f"(> {args.tolerance:.0%})"
+        if args.strict or same_platform(base, cur):
+            print(f"[bench-check] FAIL: {drop}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"[bench-check] ADVISORY: {drop}, but the baseline was "
+                  "recorded on different hardware — not gating (use "
+                  "--strict to force)")
+
+    # -- speedup ratio: hardware-independent, gates everywhere -----------
+    section, key = RATIO_METRIC
+    base_r = base.get(section, {}).get(key)
+    cur_r = cur.get(section, {}).get(key)
+    if base_r is None or cur_r is None:
+        print(f"[bench-check] {section}.{key}: missing on one side; "
+              "skipping ratio check")
+    else:
+        ratio_floor = base_r * (1.0 - args.ratio_tolerance)
+        print(f"[bench-check] scale={args.scale} {section}.{key}: "
+              f"baseline {base_r:.2f}x, current {cur_r:.2f}x; floor "
+              f"{ratio_floor:.2f}x at {args.ratio_tolerance:.0%} tolerance")
+        if cur_r < ratio_floor:
+            print(f"[bench-check] FAIL: vectorization speedup fell "
+                  f"{1 - cur_r / base_r:.1%} (> {args.ratio_tolerance:.0%}) "
+                  "— this ratio is measured within one run, so hardware "
+                  "differences do not excuse it", file=sys.stderr)
+            failed = True
+
+    if failed:
+        return 1
+    print("[bench-check] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,9 +22,9 @@ Quickstart::
     )
 """
 
-from . import api, config, nn, rl, schedulers, sim, workloads
-from .api import compare, evaluate, train
-from .config import EnvConfig, EvalConfig, PPOConfig, TrainConfig
+from . import api, config, nn, rl, runtime, schedulers, sim, workloads
+from .api import EvalResult, compare, evaluate, train
+from .config import EnvConfig, EvalConfig, PPOConfig, RuntimeConfig, TrainConfig
 from .rl import Trainer, TrainingResult
 from .schedulers import RLSchedulerPolicy
 from .sim import SchedGym, run_scheduler
@@ -37,16 +37,19 @@ __all__ = [
     "config",
     "nn",
     "rl",
+    "runtime",
     "schedulers",
     "sim",
     "workloads",
     "train",
     "evaluate",
     "compare",
+    "EvalResult",
     "EnvConfig",
     "PPOConfig",
     "TrainConfig",
     "EvalConfig",
+    "RuntimeConfig",
     "Trainer",
     "TrainingResult",
     "RLSchedulerPolicy",

@@ -1,13 +1,28 @@
 """High-level convenience API — the paper's evaluation protocol in three calls.
 
 * :func:`train` — learn a policy on a trace for a metric (§V-A protocol);
-* :func:`evaluate` — score one scheduler on a trace: mean metric over
+* :func:`evaluate` — score one scheduler on a trace: the metric over
   ``n_sequences`` random windows of ``sequence_length`` jobs (§V-C2:
   10 × 1024 by default), with or without backfilling;
 * :func:`compare` — evaluate many schedulers on the *same* windows (the
   paper: "across different scheduling algorithms, we used the same 10
   random job sequences to make fair comparisons") — one Table V/VI/X/XI
   cell per scheduler.
+
+Results are :class:`EvalResult` — a ``float`` equal to the mean (so all
+existing numeric code keeps working) that also carries the per-sequence
+values, ``std`` and ``n``, the spread the paper's tables summarise.
+
+Execution runtime
+-----------------
+Sequences are independent simulations, so both calls fan them out through
+:mod:`repro.runtime`: ``EvalConfig.runtime`` selects the backend
+(``RuntimeConfig(backend="process", workers=N)`` for a process pool).
+Sequences are pre-sampled in the parent and dispatched by index, and
+per-sequence values are reassembled in sampling order — scores are
+bit-identical for any backend and worker count.  Schedulers and sequences
+are broadcast to workers once per call (for RL policies this is the
+policy-weight broadcast), so each task ships two integers.
 """
 
 from __future__ import annotations
@@ -18,15 +33,110 @@ import numpy as np
 
 from .config import EvalConfig
 from .rl.trainer import train as _train
+from .runtime import make_backend
 from .schedulers.base import Scheduler
 from .sim.metrics import metric_by_name
 from .sim.simulator import run_scheduler
 from .workloads.sampler import SequenceSampler
 from .workloads.swf import SWFTrace
 
-__all__ = ["train", "evaluate", "compare"]
+__all__ = ["train", "evaluate", "compare", "EvalResult"]
 
 train = _train
+
+
+class EvalResult(float):
+    """Mean metric over the test sequences, plus the per-sequence spread.
+
+    Behaves exactly like ``float(mean)`` in comparisons, arithmetic and
+    formatting; ``values`` / ``std`` / ``n`` expose the distribution.
+    """
+
+    values: np.ndarray
+
+    def __new__(cls, values) -> "EvalResult":
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("EvalResult needs a non-empty 1-D value array")
+        self = super().__new__(cls, float(arr.mean()))
+        self.values = arr
+        return self
+
+    @property
+    def mean(self) -> float:
+        return float(self)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation across sequences."""
+        return float(self.values.std())
+
+    @property
+    def n(self) -> int:
+        return int(self.values.size)
+
+    def __repr__(self) -> str:
+        return f"EvalResult(mean={float(self):.6g}, std={self.std:.6g}, n={self.n})"
+
+    def __reduce__(self):
+        return (EvalResult, (self.values,))
+
+
+# ----------------------------------------------------------------------
+# worker-side task functions (top-level: picklable by reference)
+# ----------------------------------------------------------------------
+def _install_eval_state(state, schedulers, sequences, n_procs, backfill, metric):
+    """One-shot broadcast of everything a worker needs per evaluate/compare
+    call; subsequent tasks reference it by index."""
+    state["schedulers"] = schedulers
+    state["sequences"] = sequences
+    state["n_procs"] = n_procs
+    state["backfill"] = backfill
+    state["metric_fn"] = metric_by_name(metric)[0]
+
+
+def _eval_task(state, task):
+    """Score scheduler ``si`` on sequence ``qi``; returns the raw metric."""
+    si, qi = task
+    completed = run_scheduler(
+        state["sequences"][qi],
+        state["n_procs"],
+        state["schedulers"][si],
+        backfill=state["backfill"],
+    )
+    return float(state["metric_fn"](completed, state["n_procs"]))
+
+
+def _evaluate_matrix(
+    schedulers: Sequence[Scheduler],
+    trace: SWFTrace,
+    metric: str,
+    backfill: bool,
+    config: EvalConfig,
+) -> np.ndarray:
+    """Per-(scheduler, sequence) metric values, ``(S, Q)``, on the
+    configured runtime.  Every scheduler sees the identical pre-sampled
+    sequence list, and results are assembled in (scheduler, sequence)
+    order regardless of backend or worker count."""
+    metric_by_name(metric)  # fail fast in the parent on unknown metrics
+    sampler = SequenceSampler(trace, config.sequence_length, seed=config.seed)
+    sequences = sampler.sample_many(config.n_sequences)
+    tasks = [
+        (si, qi) for si in range(len(schedulers)) for qi in range(len(sequences))
+    ]
+    with make_backend(config.runtime) as backend:
+        backend.broadcast(
+            _install_eval_state,
+            list(schedulers),
+            sequences,
+            trace.max_procs,
+            backfill,
+            metric,
+        )
+        values = backend.map(_eval_task, tasks, chunksize=config.runtime.chunksize)
+    return np.array(values, dtype=np.float64).reshape(
+        len(schedulers), len(sequences)
+    )
 
 
 def evaluate(
@@ -35,18 +145,15 @@ def evaluate(
     metric: str = "bsld",
     backfill: bool = False,
     config: EvalConfig | None = None,
-) -> float:
-    """Mean metric of ``scheduler`` over seeded random test sequences."""
+) -> EvalResult:
+    """Metric of ``scheduler`` over seeded random test sequences.
+
+    Returns an :class:`EvalResult`: the mean as a float, with the
+    per-sequence values and standard deviation attached.
+    """
     config = config or EvalConfig()
-    fn, _ = metric_by_name(metric)
-    sampler = SequenceSampler(trace, config.sequence_length, seed=config.seed)
-    values = []
-    for _ in range(config.n_sequences):
-        completed = run_scheduler(
-            sampler.sample(), trace.max_procs, scheduler, backfill=backfill
-        )
-        values.append(fn(completed, trace.max_procs))
-    return float(np.mean(values))
+    matrix = _evaluate_matrix([scheduler], trace, metric, backfill, config)
+    return EvalResult(matrix[0])
 
 
 def compare(
@@ -55,9 +162,9 @@ def compare(
     metric: str = "bsld",
     backfill: bool = False,
     config: EvalConfig | None = None,
-) -> dict[str, float]:
+) -> dict[str, EvalResult]:
     """Evaluate several schedulers on identical sequences; returns
-    ``{scheduler name: mean metric}`` in input order."""
+    ``{scheduler name: EvalResult}`` in input order."""
     config = config or EvalConfig()
     if isinstance(schedulers, Mapping):
         items = list(schedulers.items())
@@ -65,19 +172,9 @@ def compare(
         items = [(s.name, s) for s in schedulers]
     if len({name for name, _ in items}) != len(items):
         raise ValueError("scheduler names must be unique")
-    fn, _ = metric_by_name(metric)
-
-    results: dict[str, float] = {}
-    for name, scheduler in items:
-        sampler = SequenceSampler(trace, config.sequence_length, seed=config.seed)
-        values = [
-            fn(
-                run_scheduler(
-                    sampler.sample(), trace.max_procs, scheduler, backfill=backfill
-                ),
-                trace.max_procs,
-            )
-            for _ in range(config.n_sequences)
-        ]
-        results[name] = float(np.mean(values))
-    return results
+    matrix = _evaluate_matrix(
+        [s for _, s in items], trace, metric, backfill, config
+    )
+    return {
+        name: EvalResult(matrix[i]) for i, (name, _) in enumerate(items)
+    }

@@ -19,7 +19,9 @@ Examples
     python -m repro traces
     python -m repro generate PIK-IPLEX --jobs 10000 -o pik.swf
     python -m repro evaluate Lublin-1 --metric bsld --backfill
+    python -m repro evaluate Lublin-1 --workers 4
     python -m repro train Lublin-1 --metric bsld --epochs 20 -o model.npz
+    python -m repro train Lublin-1 --workers 4 -o model.npz
     python -m repro evaluate Lublin-1 --model model.npz
 """
 
@@ -28,7 +30,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import EvalConfig, EnvConfig, PPOConfig, TrainConfig, compare, load_trace, train
+from . import (
+    EvalConfig,
+    EnvConfig,
+    PPOConfig,
+    RuntimeConfig,
+    TrainConfig,
+    compare,
+    load_trace,
+    train,
+)
 from .schedulers import HEURISTICS, RLSchedulerPolicy
 from .sim.metrics import METRICS
 from .workloads import available_traces, characterize, write_swf
@@ -64,6 +75,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--swf-dir", default=None)
     p.add_argument("--model", default=None,
                    help="path to a saved RL policy (.npz) to include")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="fan sequences over N worker processes (1 = serial)")
 
     p = sub.add_parser("train", help="train an RL policy and save it")
     p.add_argument("name")
@@ -80,9 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--filter", action="store_true",
                    help="enable trajectory filtering (recommended for PIK)")
     p.add_argument("--swf-dir", default=None)
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="shard rollout envs over N worker processes (1 = serial)")
     p.add_argument("-o", "--output", required=True)
 
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _cmd_traces(args) -> int:
@@ -106,17 +128,20 @@ def _cmd_evaluate(args) -> int:
     schedulers = [cls() for cls in HEURISTICS.values()]
     if args.model:
         rl = RLSchedulerPolicy.load(args.model)
+        # Retarget the saved policy at this trace's cluster through the
+        # checked setter: a bogus size fails loudly here, not mid-run.
         rl.n_procs = trace.max_procs
         schedulers.append(rl)
     config = EvalConfig(n_sequences=args.sequences,
-                        sequence_length=args.length, seed=42)
+                        sequence_length=args.length, seed=42,
+                        runtime=RuntimeConfig.from_workers(args.workers))
     scores = compare(schedulers, trace, metric=args.metric,
                      backfill=args.backfill, config=config)
     mode = "backfill" if args.backfill else "no backfill"
     print(f"{args.metric} on {trace.name} ({mode}, "
-          f"{args.sequences}x{args.length} jobs):")
+          f"{args.sequences}x{args.length} jobs, workers={args.workers}):")
     for name, value in scores.items():
-        print(f"  {name:<14} {value:12.3f}")
+        print(f"  {name:<14} {float(value):12.3f} ± {value.std:.3f}")
     return 0
 
 
@@ -135,6 +160,7 @@ def _cmd_train(args) -> int:
             trajectory_length=args.length,
             seed=args.seed,
             use_trajectory_filter=args.filter,
+            runtime=RuntimeConfig.from_workers(args.workers),
         ),
     )
     sched = result.as_scheduler()

@@ -13,7 +13,45 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["EnvConfig", "PPOConfig", "TrainConfig", "EvalConfig"]
+__all__ = ["EnvConfig", "PPOConfig", "TrainConfig", "EvalConfig", "RuntimeConfig"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Where independent simulations execute (see :mod:`repro.runtime`).
+
+    ``backend="serial"`` runs everything in-process; ``"process"`` fans
+    out over ``workers`` persistent ``multiprocessing`` workers.  Both
+    produce bit-identical results for the same seeds — the backend is a
+    pure throughput knob, pinned by the runtime golden tests.
+    """
+
+    #: accepted execution backends
+    BACKENDS = ("serial", "process")
+
+    backend: str = "serial"
+    workers: int = 1
+    #: tasks per map dispatch; None picks ~4 chunks per worker
+    chunksize: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in self.BACKENDS:
+            raise ValueError(
+                f"backend must be one of {self.BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.chunksize is not None and self.chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {self.chunksize}")
+
+    @classmethod
+    def from_workers(cls, workers: int, chunksize: int | None = None) -> "RuntimeConfig":
+        """The CLI convention: ``--workers N`` means a process pool for
+        N > 1 and the serial backend for N == 1."""
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        backend = "process" if workers > 1 else "serial"
+        return cls(backend=backend, workers=workers, chunksize=chunksize)
 
 
 @dataclass(frozen=True)
@@ -71,14 +109,17 @@ class TrainConfig:
     use_trajectory_filter: bool = False
     filter_probe_samples: int = 200   # SJF probes to build the Fig. 7 distribution
     filter_phase1_fraction: float = 0.6  # fraction of epochs in filtered phase
-    vectorized: bool = True       # collect rollouts through VecSchedGym
+    vectorized: bool = True       # collect rollouts through the vec env
     n_envs: int = 16              # environments stepped in lock-step
+    runtime: RuntimeConfig = RuntimeConfig()  # where env shards execute
 
     def __post_init__(self) -> None:
         if min(self.epochs, self.trajectories_per_epoch, self.trajectory_length) <= 0:
             raise ValueError("training sizes must be positive")
         if self.n_envs <= 0:
             raise ValueError("n_envs must be positive")
+        if not isinstance(self.runtime, RuntimeConfig):
+            raise TypeError("runtime must be a RuntimeConfig")
 
 
 @dataclass(frozen=True)
@@ -88,3 +129,10 @@ class EvalConfig:
     n_sequences: int = 10
     sequence_length: int = 1024
     seed: int = 42
+    runtime: RuntimeConfig = RuntimeConfig()  # where sequence runs execute
+
+    def __post_init__(self) -> None:
+        if self.n_sequences <= 0 or self.sequence_length <= 0:
+            raise ValueError("n_sequences and sequence_length must be positive")
+        if not isinstance(self.runtime, RuntimeConfig):
+            raise TypeError("runtime must be a RuntimeConfig")

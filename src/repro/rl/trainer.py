@@ -14,9 +14,15 @@ Figs. 8-13.
 Vectorised rollouts
 -------------------
 With ``TrainConfig.vectorized`` (the default) the epoch's trajectories are
-collected through :class:`~repro.sim.vec_env.VecSchedGym`:
-``TrainConfig.n_envs`` environments step in lock-step, and every policy
-forward serves all of them at once via :meth:`PPOAgent.act_batch`.  Value
+collected through :class:`~repro.runtime.ShardedVecSchedGym`:
+``TrainConfig.n_envs`` environments step in lock-step — sharded over
+``TrainConfig.runtime`` workers (in-process by default, a process pool
+with ``RuntimeConfig(backend="process", workers=N)``) — and every policy
+forward serves all of them at once via :meth:`PPOAgent.act_batch`.  The
+workers only run env stepping and observation building; the policy
+forward and the PPO update stay in the parent, so worker count is a pure
+throughput knob and trajectories are bit-identical to the serial path
+under the per-trajectory RNG streams.  Value
 estimates are deferred to one batched :meth:`PPOAgent.value_batch` call
 per finished episode in *both* modes, so the two collection paths produce
 bit-identical trajectories, advantages and update statistics for the same
@@ -42,6 +48,8 @@ import numpy as np
 
 from repro.config import EnvConfig, PPOConfig, TrainConfig
 from repro.nn import Module, ValueMLP, make_policy
+from repro.runtime import ShardedVecSchedGym
+from repro.runtime.seeding import stream_rng
 from repro.schedulers.rl_scheduler import RLSchedulerPolicy
 from repro.sim.env import SchedGym
 from repro.sim.metrics import metric_by_name
@@ -157,10 +165,9 @@ class Trainer:
         self.sampler = SequenceSampler(
             trace, self.train_config.trajectory_length, seed=seed
         )
-        n_vec = min(self.train_config.n_envs, self.train_config.trajectories_per_epoch)
-        self.vec_env = VecSchedGym(
-            n_vec, trace.max_procs, make_reward(metric), config=self.env_config
-        )
+        # Built on first vectorised collection — a non-vectorised run must
+        # not spawn (and hold) idle worker processes.
+        self._vec_env: ShardedVecSchedGym | None = None
 
         # Terminal rewards span orders of magnitude across metrics (bsld in
         # the hundreds, util in [0,1]).  The value network regresses raw
@@ -213,11 +220,29 @@ class Trainer:
                 # sample rather than spinning forever.
                 return jobs, rejected
 
+    @property
+    def vec_env(self) -> ShardedVecSchedGym:
+        """The rollout-collection env shards, created on first use.
+
+        Passing the metric *name* keeps the reward picklable, so process
+        workers rebuild it locally instead of shipping a closure.
+        """
+        if self._vec_env is None:
+            n_vec = min(
+                self.train_config.n_envs, self.train_config.trajectories_per_epoch
+            )
+            self._vec_env = ShardedVecSchedGym(
+                n_vec,
+                self.trace.max_procs,
+                self.metric,
+                config=self.env_config,
+                runtime=self.train_config.runtime,
+            )
+        return self._vec_env
+
     def _traj_rng(self, epoch: int, traj: int) -> np.random.Generator:
         """The action-sampling stream owned by one trajectory."""
-        return np.random.default_rng(
-            [self.train_config.seed, self._ACT_STREAM, epoch, traj]
-        )
+        return stream_rng(self.train_config.seed, self._ACT_STREAM, epoch, traj)
 
     def _rollout(
         self,
@@ -319,9 +344,7 @@ class Trainer:
             # Calibrate the reward scale with one throwaway rollout so the
             # very first update already sees well-conditioned value targets.
             probe_jobs, _ = self._sample_sequence(filtered)
-            probe_rng = np.random.default_rng(
-                [cfg.seed, self._PROBE_STREAM, epoch]
-            )
+            probe_rng = stream_rng(cfg.seed, self._PROBE_STREAM, epoch)
             probe_reward = self._rollout(probe_jobs, TrajectoryBuffer(), probe_rng)
             self._reward_scale = max(abs(probe_reward), 1e-6)
 
@@ -377,6 +400,18 @@ class Trainer:
             obs, masks = result.observations, result.action_masks
         return float(np.mean(rewards))
 
+    def close(self) -> None:
+        """Release rollout workers (a no-op if none were ever spawned)."""
+        if self._vec_env is not None:
+            self._vec_env.close()
+            self._vec_env = None
+
+    def __enter__(self) -> "Trainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def train(self, progress: bool = False) -> TrainingResult:
         result = TrainingResult(
             trace_name=self.trace.name,
@@ -413,4 +448,5 @@ def train(
     **kwargs,
 ) -> TrainingResult:
     """One-call training entry point (see :class:`Trainer` for knobs)."""
-    return Trainer(trace, metric=metric, policy_preset=policy_preset, **kwargs).train()
+    with Trainer(trace, metric=metric, policy_preset=policy_preset, **kwargs) as t:
+        return t.train()

@@ -1,0 +1,187 @@
+"""Process-pool backend: persistent multiprocessing workers over pipes.
+
+Workers are long-lived ``multiprocessing.Process`` children, one duplex
+pipe each.  Each worker runs a command loop against its private ``state``
+dict, so expensive setup (env shards, schedulers, policy weights) is paid
+once per run via ``broadcast`` and every subsequent dispatch ships only
+the small per-call payload (actions in, observations out).
+
+``map`` is chunked and load-balanced: chunks are handed to whichever
+worker returns first (:func:`multiprocessing.connection.wait`), and the
+chunk index travels with the result so the caller always sees results in
+task order — worker count and scheduling jitter are unobservable.
+
+Task functions and their arguments must be picklable; define worker
+functions at module top level.  Exceptions raised in a worker come back
+pickled and re-raise in the parent as :class:`WorkerError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing.connection import Connection, wait
+from typing import Sequence
+
+from .backend import ExecutionBackend, TaskFn, WorkerError
+
+__all__ = ["ProcessPoolBackend"]
+
+_SHUTDOWN = None  # pipe sentinel
+
+
+def _worker_main(conn: Connection) -> None:
+    """Command loop: ``(fn, args)`` in, ``("ok", result) | ("err", exc)`` out."""
+    state: dict = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if msg is _SHUTDOWN:
+            break
+        fn, args = msg
+        try:
+            conn.send(("ok", fn(state, *args)))
+        except KeyboardInterrupt:
+            break
+        except BaseException as exc:  # ship the failure, keep the loop alive
+            try:
+                conn.send(("err", exc))
+            except Exception:  # unpicklable exception: send a plain stand-in
+                conn.send(("err", RuntimeError(f"{type(exc).__name__}: {exc}")))
+
+
+def _map_chunk(state: dict, fn: TaskFn, tasks: list) -> list:
+    """Run one chunk of map tasks against this worker's state."""
+    return [fn(state, task) for task in tasks]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Persistent ``multiprocessing`` workers behind the backend contract."""
+
+    #: seconds to wait for a worker to exit cleanly before terminating it
+    JOIN_TIMEOUT = 5.0
+
+    def __init__(self, n_workers: int = 1):
+        super().__init__(n_workers)
+        self._procs: list[mp.Process] = []
+        self._conns: list[Connection] = []
+
+    # -- lifecycle ------------------------------------------------------
+    def _start_impl(self) -> None:
+        ctx = mp.get_context()
+        for _ in range(self.n_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def _close_impl(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(_SHUTDOWN)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=self.JOIN_TIMEOUT)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=self.JOIN_TIMEOUT)
+        for conn in self._conns:
+            conn.close()
+        self._procs, self._conns = [], []
+
+    # -- dispatch -------------------------------------------------------
+    def _recv(self, worker_id: int):
+        conn = self._conns[worker_id]
+        try:
+            status, payload = conn.recv()
+        except EOFError:
+            raise WorkerError(
+                worker_id, RuntimeError("worker died mid-task (pipe closed)")
+            ) from None
+        if status == "err":
+            raise WorkerError(worker_id, payload) from payload
+        return payload
+
+    def _scatter_impl(
+        self, fn: TaskFn, per_worker_args: Sequence[tuple], workers: list[int]
+    ) -> list:
+        # Phase 1: post everything so workers run concurrently;
+        # phase 2: collect in the caller's worker order.  Every *posted*
+        # call is drained even on failure — in the send loop too — so the
+        # pipes stay in sync and the backend remains usable after a task
+        # error (a dead worker still surfaces as WorkerError).
+        posted, first_err = [], None
+        for w, args in zip(workers, per_worker_args):
+            try:
+                self._conns[w].send((fn, args))
+            except Exception as exc:
+                # Broken pipe, but also pickling failures: send() pickles
+                # before writing, so nothing reached the worker — stop
+                # posting and fall through to drain what already did.
+                first_err = WorkerError(w, exc)
+                break
+            posted.append(w)
+        results = []
+        for w in posted:
+            try:
+                results.append(self._recv(w))
+            except WorkerError as err:
+                results.append(None)
+                first_err = first_err or err
+        if first_err is not None:
+            raise first_err
+        return results
+
+    def _map_impl(self, fn: TaskFn, tasks: list, chunksize: int) -> list:
+        chunks = [
+            (start, tasks[start : start + chunksize])
+            for start in range(0, len(tasks), chunksize)
+        ]
+        results: list = [None] * len(tasks)
+        pending = iter(chunks)
+        inflight: dict[Connection, tuple[int, int]] = {}  # conn -> (worker, start)
+
+        first_err = None
+
+        def feed(worker_id: int) -> bool:
+            nonlocal first_err
+            if first_err is not None:
+                return False
+            entry = next(pending, None)
+            if entry is None:
+                return False
+            start, chunk = entry
+            try:
+                self._conns[worker_id].send((_map_chunk, (fn, chunk)))
+            except Exception as exc:
+                # Includes pickling failures: send() pickles before
+                # writing, so the worker saw nothing — record the error
+                # and let the in-flight chunks drain normally.
+                first_err = WorkerError(worker_id, exc)
+                return False
+            inflight[self._conns[worker_id]] = (worker_id, start)
+            return True
+
+        for w in range(self.n_workers):
+            if not feed(w):
+                break
+        while inflight:
+            for conn in wait(list(inflight)):
+                worker_id, start = inflight.pop(conn)
+                try:
+                    chunk_result = self._recv(worker_id)
+                except WorkerError as err:
+                    first_err = first_err or err
+                    continue  # stop feeding, drain the rest
+                results[start : start + len(chunk_result)] = chunk_result
+                if first_err is None:
+                    feed(worker_id)
+        if first_err is not None:
+            raise first_err
+        return results

@@ -1,0 +1,270 @@
+"""ShardedVecSchedGym: N workers × M environments behind one vec-env API.
+
+The multi-core successor to :class:`repro.sim.vec_env.VecSchedGym`: the
+environments are partitioned into per-worker shards that live in worker
+state (in-process for :class:`SerialBackend`, one child process each for
+:class:`ProcessPoolBackend`).  Workers run the expensive part of a rollout
+step — event simulation plus observation building — while the parent keeps
+the single policy forward and all trajectory bookkeeping, so training
+updates stay centralized and deterministic (the learner-loop shape of
+vectorized-training systems such as gym-sparksched's VecDagSchedEnv).
+
+Determinism contract (pinned by the runtime golden tests): for the same
+sequences and actions, observations, rewards, done flags and auto-reset
+assignment are bit-identical to a single ``VecSchedGym`` — regardless of
+backend or worker count.  The two load-bearing details:
+
+* each global environment index maps to a fixed ``(worker, local)`` slot,
+  and step results are assembled in global index order;
+* the auto-reset backlog lives in the *parent* and is handed to finishing
+  environments in global index order — exactly the ``VecSchedGym`` rule
+  ("queued sequences go to the lowest-index finishing env first").
+
+The per-step protocol is two scatters: ``step`` to every worker with
+active environments, then (only when episodes finished and the backlog is
+non-empty) ``reset`` to the affected workers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.config import EnvConfig, RuntimeConfig
+from repro.sim.env import SchedGym
+from repro.sim.vec_env import VecStepResult
+from repro.workloads.job import Job
+
+from .backend import ExecutionBackend, make_backend
+
+__all__ = ["ShardedVecSchedGym"]
+
+#: reward spec: a metric name (resolved per worker, always picklable) or a
+#: ``f(jobs, n_procs) -> float`` callable (must pickle for process backends)
+RewardSpec = "str | Callable[[Sequence[Job], int], float]"
+
+
+def _resolve_reward(spec):
+    if callable(spec):
+        return spec
+    from repro.rl.reward import make_reward
+
+    return make_reward(spec)
+
+
+# ----------------------------------------------------------------------
+# worker-side task functions (top-level: picklable by reference)
+# ----------------------------------------------------------------------
+def _shard_init(state, n_local, n_procs, reward_spec, config):
+    reward_fn = _resolve_reward(reward_spec)
+    state["envs"] = [SchedGym(n_procs, reward_fn, config) for _ in range(n_local)]
+
+
+def _shard_reset(state, pairs):
+    """Reset selected local envs: ``[(local, jobs)] -> [(local, obs, mask)]``."""
+    out = []
+    for local, jobs in pairs:
+        obs, mask = state["envs"][local].reset(jobs)
+        out.append((local, obs, mask))
+    return out
+
+
+def _shard_step(state, items):
+    """Step selected local envs: ``[(local, action)]`` in,
+    ``[(local, obs, reward, done, mask, now)]`` out (terminal ``completed``
+    lists stay worker-side; only the scalar reward crosses the pipe)."""
+    out = []
+    for local, action in items:
+        r = state["envs"][local].step(action)
+        out.append(
+            (local, r.observation, r.reward, r.done, r.action_mask,
+             r.info.get("now"))
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+class ShardedVecSchedGym:
+    """N workers × M lock-step environments; drop-in for ``VecSchedGym``."""
+
+    def __init__(
+        self,
+        n_envs: int,
+        n_procs: int,
+        reward,
+        config: EnvConfig | None = None,
+        runtime: RuntimeConfig | None = None,
+        backend: ExecutionBackend | None = None,
+    ):
+        if n_envs <= 0:
+            raise ValueError("n_envs must be positive")
+        self.config = config or EnvConfig()
+        self._n_envs = int(n_envs)
+        self._owns_backend = backend is None
+        self.backend = backend or make_backend(runtime or RuntimeConfig())
+        self.backend.start()
+
+        # Contiguous balanced partition: worker w owns global envs
+        # [offset[w], offset[w] + size[w]); workers beyond n_envs hold none.
+        sizes = np.zeros(self.backend.n_workers, dtype=int)
+        base, extra = divmod(self._n_envs, self.backend.n_workers)
+        sizes[:] = base
+        sizes[:extra] += 1
+        self._shard_sizes = sizes
+        self._shard_offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        self._worker_of = np.repeat(np.arange(len(sizes)), sizes)
+        self._local_of = np.concatenate(
+            [np.arange(s) for s in sizes if s > 0]
+        ) if self._n_envs else np.zeros(0, dtype=int)
+        self._shards = [w for w in range(len(sizes)) if sizes[w] > 0]
+
+        self.backend.scatter(
+            _shard_init,
+            [(int(sizes[w]), n_procs, reward, self.config) for w in self._shards],
+            workers=self._shards,
+        )
+
+        self._active = np.zeros(self._n_envs, dtype=bool)
+        self._queue: deque[Sequence[Job]] = deque()
+        m, f = self.config.observation_shape
+        self._obs = np.zeros((self._n_envs, m, f), dtype=np.float32)
+        self._masks = np.zeros((self._n_envs, m), dtype=bool)
+
+    # -- VecSchedGym-compatible surface ---------------------------------
+    @property
+    def n_envs(self) -> int:
+        return self._n_envs
+
+    @property
+    def n_workers(self) -> int:
+        return self.backend.n_workers
+
+    @property
+    def active(self) -> np.ndarray:
+        return self._active.copy()
+
+    @property
+    def all_done(self) -> bool:
+        return not self._active.any()
+
+    @property
+    def n_queued(self) -> int:
+        return len(self._queue)
+
+    def close(self) -> None:
+        """Release the backend (worker processes) if this env owns it."""
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "ShardedVecSchedGym":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- episode control ------------------------------------------------
+    def reset(
+        self, sequences: Sequence[Sequence[Job]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Start one episode per sequence; returns stacked (obs, masks)."""
+        if not sequences:
+            raise ValueError("reset() needs at least one job sequence")
+        if len(sequences) > self._n_envs:
+            raise ValueError(
+                f"{len(sequences)} sequences for {self._n_envs} envs; queue the "
+                "surplus with queue_sequences()"
+            )
+        self._queue.clear()
+        self._obs[:] = 0.0
+        self._masks[:] = False
+        self._active[:] = False
+        self._dispatch_resets(list(enumerate(sequences)))
+        return self._obs.copy(), self._masks.copy()
+
+    def queue_sequences(self, sequences: Sequence[Sequence[Job]]) -> None:
+        """Add sequences to the auto-reset backlog (FIFO)."""
+        self._queue.extend(sequences)
+
+    def _dispatch_resets(self, assignments: list[tuple[int, Sequence[Job]]]) -> None:
+        """Reset the given (global env, jobs) pairs through their shards."""
+        per_worker: dict[int, list] = {}
+        for g, jobs in assignments:
+            w = int(self._worker_of[g])
+            per_worker.setdefault(w, []).append((int(self._local_of[g]), jobs))
+        workers = sorted(per_worker)
+        replies = self.backend.scatter(
+            _shard_reset, [(per_worker[w],) for w in workers], workers=workers
+        )
+        for w, rows in zip(workers, replies):
+            offset = int(self._shard_offsets[w])
+            for local, obs, mask in rows:
+                g = offset + local
+                self._obs[g] = obs
+                self._masks[g] = mask
+                self._active[g] = True
+
+    def step(self, actions: np.ndarray) -> VecStepResult:
+        """Advance every active environment by one action.
+
+        Same contract as :meth:`VecSchedGym.step`: ``actions`` has one
+        entry per environment (-1 for inactive by convention); finished
+        environments auto-reset from the backlog in global index order or
+        deactivate with zeroed rows.
+        """
+        actions = np.asarray(actions)
+        if actions.shape != (self._n_envs,):
+            raise ValueError(
+                f"expected {self._n_envs} actions, got shape {actions.shape}"
+            )
+        if not self._active.any():
+            raise RuntimeError("all environments are done; call reset()")
+
+        per_worker: dict[int, list] = {}
+        for g in np.flatnonzero(self._active):
+            w = int(self._worker_of[g])
+            per_worker.setdefault(w, []).append((int(self._local_of[g]), int(actions[g])))
+        workers = sorted(per_worker)
+        replies = self.backend.scatter(
+            _shard_step, [(per_worker[w],) for w in workers], workers=workers
+        )
+
+        rewards = np.zeros(self._n_envs, dtype=np.float64)
+        dones = np.zeros(self._n_envs, dtype=bool)
+        infos: list[dict] = [{} for _ in range(self._n_envs)]
+        finished: list[int] = []
+        for w, rows in zip(workers, replies):
+            offset = int(self._shard_offsets[w])
+            for local, obs, reward, done, mask, now in rows:
+                g = offset + local
+                if now is not None:
+                    infos[g]["now"] = now
+                if not done:
+                    self._obs[g] = obs
+                    self._masks[g] = mask
+                    continue
+                rewards[g] = reward
+                dones[g] = True
+                finished.append(g)
+
+        # Backlog hand-off in global index order — the VecSchedGym rule.
+        resets: list[tuple[int, Sequence[Job]]] = []
+        for g in sorted(finished):
+            if self._queue:
+                resets.append((g, self._queue.popleft()))
+                infos[g]["auto_reset"] = True
+            else:
+                self._obs[g] = 0.0
+                self._masks[g] = False
+                self._active[g] = False
+        if resets:
+            self._dispatch_resets(resets)
+
+        return VecStepResult(
+            observations=self._obs.copy(),
+            rewards=rewards,
+            dones=dones,
+            action_masks=self._masks.copy(),
+            infos=infos,
+        )

@@ -6,13 +6,32 @@ anymore" — so :class:`RLSchedulerPolicy` runs the policy network greedily
 over the same observation the training environment produced and returns
 the argmax job.
 
+Hot path
+--------
+``select`` is called once per scheduling decision, potentially millions of
+times over an evaluation campaign.  Two optimisations keep it cheap while
+staying argmax-equivalent to the reference dense forward (pinned by golden
+tests):
+
+* static per-job feature columns are computed once per job into a
+  persistent :class:`DeployFeatureCache` that grows as jobs arrive and
+  validates (and, on trace changes, rebuilds) itself — correctness never
+  depends on cache freshness;
+* policies that score jobs independently (``score_rows``, e.g. the
+  kernel policy) skip the padded ``(1, M, F)`` batch entirely: only the
+  ``k`` visible rows go through the network, and the argmax is taken over
+  raw scores (log-softmax is monotone, so the winner is identical).
+
 Models persist as a single ``.npz``: the network weights plus the metadata
 needed to rebuild the network (preset name, observation shape), so
 ``RLSchedulerPolicy.load(path)`` round-trips without external config.
+Pickling round-trips the same way (weights + metadata, cache dropped), so
+policies broadcast cleanly to :mod:`repro.runtime` process workers.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 from typing import Sequence
@@ -22,12 +41,118 @@ import numpy as np
 from repro.config import EnvConfig
 from repro.nn import Module, make_policy, masked_log_softmax, no_grad
 from repro.sim.cluster import Cluster
-from repro.sim.env import build_observation
+from repro.sim.env import (
+    FeatureCache,
+    build_observation,
+    fill_dynamic_features,
+    stable_user_hash,
+)
 from repro.workloads.job import Job
 
 from .base import Scheduler
 
-__all__ = ["RLSchedulerPolicy"]
+__all__ = ["RLSchedulerPolicy", "DeployFeatureCache"]
+
+
+class DeployFeatureCache:
+    """Growable static-feature cache for deployment-time observations.
+
+    Training's per-episode :class:`FeatureCache` knows the whole job
+    population at ``reset()``; a deployed scheduler discovers jobs as they
+    arrive.  This cache appends static rows on first sight (computed by
+    ``FeatureCache`` itself, so the maths — hence the bits — are
+    identical) with doubling capacity, and self-heals: every lookup
+    validates all feature-bearing attributes of the visible jobs (submit
+    time, processor and runtime requests, user hash) against the cached
+    rows, and any mismatch (job ids reused across traces) clears and
+    rebuilds from the current queue.  Lookups are therefore always
+    correct; the cache only decides how much work they cost.
+    """
+
+    def __init__(self, n_procs: int, config: EnvConfig):
+        self.n_procs = n_procs
+        self.config = config
+        self.clear()
+
+    def clear(self) -> None:
+        f = self.config.job_features
+        self.index: dict = {}
+        self.size = 0
+        self.static = np.zeros((0, f), dtype=np.float64)
+        self.submit = np.zeros(0, dtype=np.float64)
+        self.procs = np.zeros(0, dtype=np.float64)
+        self.reqtime = np.zeros(0, dtype=np.float64)
+        self.uhash = np.zeros(0, dtype=np.float64)
+
+    def _grow(self, extra: int) -> None:
+        need = self.size + extra
+        cap = len(self.submit)
+        if need <= cap:
+            return
+        new_cap = max(64, 1 << (need - 1).bit_length())
+        f = self.config.job_features
+        static = np.zeros((new_cap, f), dtype=np.float64)
+        static[: self.size] = self.static[: self.size]
+        self.static = static
+        for attr in ("submit", "procs", "reqtime", "uhash"):
+            col = np.zeros(new_cap, dtype=np.float64)
+            col[: self.size] = getattr(self, attr)[: self.size]
+            setattr(self, attr, col)
+
+    def _add(self, jobs: Sequence[Job]) -> None:
+        fresh = FeatureCache(jobs, self.n_procs, self.config)
+        self._grow(len(jobs))
+        lo, hi = self.size, self.size + len(jobs)
+        self.static[lo:hi] = fresh.static
+        self.submit[lo:hi] = fresh.submit
+        self.procs[lo:hi] = fresh.procs
+        self.reqtime[lo:hi] = [j.requested_time for j in jobs]
+        self.uhash[lo:hi] = fresh.user_hash
+        for i, j in enumerate(jobs):
+            self.index[j.job_id] = lo + i
+        self.size = hi
+
+    def _identity(self, jobs: Sequence[Job]) -> tuple[np.ndarray, ...]:
+        n = len(jobs)
+        return (
+            np.fromiter((j.submit_time for j in jobs), np.float64, count=n),
+            np.fromiter((j.requested_procs for j in jobs), np.float64, count=n),
+            np.fromiter((j.requested_time for j in jobs), np.float64, count=n),
+            np.fromiter(
+                (stable_user_hash(j.user_id) for j in jobs), np.float64, count=n
+            ),
+        )
+
+    def rows(self, jobs: Sequence[Job]) -> np.ndarray:
+        """Validated cache row per job, adding unseen jobs on the way.
+
+        Validation covers every feature-bearing attribute (submit time,
+        processor and runtime requests, user hash), so a cache hit can
+        never serve a row that differs from a fresh computation.
+        """
+        new = [j for j in jobs if j.job_id not in self.index]
+        if new:
+            self._add(new)
+        index = self.index
+        rows = np.fromiter(
+            (index[j.job_id] for j in jobs), dtype=np.intp, count=len(jobs)
+        )
+        submit, procs, reqtime, uhash = self._identity(jobs)
+        if (
+            np.array_equal(self.submit[rows], submit)
+            and np.array_equal(self.procs[rows], procs)
+            and np.array_equal(self.reqtime[rows], reqtime)
+            and np.array_equal(self.uhash[rows], uhash)
+        ):
+            return rows
+        # Stale identity (a different trace reused these job ids): rebuild
+        # from this queue alone.  The fresh batch occupies rows 0..k-1 in
+        # queue order, which stays correct even if the queue itself holds
+        # conflicting duplicate ids (the index may then be ambiguous, but
+        # these positional rows are not — and the next call revalidates).
+        self.clear()
+        self._add(list(jobs))
+        return np.arange(len(jobs), dtype=np.intp)
 
 
 class RLSchedulerPolicy(Scheduler):
@@ -43,14 +168,31 @@ class RLSchedulerPolicy(Scheduler):
         preset: str = "kernel",
         name: str | None = None,
     ):
-        if n_procs <= 0:
-            raise ValueError("n_procs must be positive")
         self.policy = policy
-        self.n_procs = n_procs
         self.env_config = env_config or EnvConfig()
         self.preset = preset
+        self._cache: DeployFeatureCache | None = None
+        self.n_procs = n_procs  # checked property; also resets the cache
         if name is not None:
             self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def n_procs(self) -> int:
+        """Target cluster size; assignment validates and rebinds the
+        feature cache (processor fractions depend on it)."""
+        return self._n_procs
+
+    @n_procs.setter
+    def n_procs(self, value) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            raise TypeError(
+                f"n_procs must be an integer cluster size, got {value!r}"
+            )
+        if value <= 0:
+            raise ValueError(f"n_procs must be positive, got {value}")
+        self._n_procs = int(value)
+        self._cache = None
 
     # ------------------------------------------------------------------
     def score(self, job: Job, now: float, cluster: Cluster) -> float:
@@ -61,8 +203,42 @@ class RLSchedulerPolicy(Scheduler):
     def select(self, pending: Sequence[Job], now: float, cluster: Cluster) -> Job:
         if not pending:
             raise ValueError("cannot select from an empty queue")
+        visible = sorted(pending, key=lambda j: (j.submit_time, j.job_id))
+        visible = visible[: self.env_config.max_obsv_size]
+        if self._cache is None:
+            self._cache = DeployFeatureCache(self.n_procs, self.env_config)
+        rows = self._cache.rows(visible)
+
+        score_rows = getattr(self.policy, "score_rows", None)
+        if score_rows is None:
+            return self._select_dense(visible, rows, now, cluster)
+
+        # Sparse path: assemble only the k visible rows and score them
+        # directly.  The float32 round-trip matches the dense observation
+        # build, and log-softmax is monotone, so the argmax is the dense
+        # path's argmax (ties break on the first index either way).
+        cache = self._cache
+        feats = fill_dynamic_features(
+            cache.static[rows], cache.submit[rows], cache.procs[rows],
+            now, cluster.free_procs, self.n_procs, self.env_config,
+        )
+        with no_grad():
+            scores = score_rows(feats.astype(np.float32))
+        return visible[int(np.argmax(scores))]
+
+    def _select_dense(
+        self, visible: list[Job], rows: np.ndarray, now: float, cluster: Cluster
+    ) -> Job:
+        """Reference path for policies without independent row scoring."""
         obs, mask, visible = build_observation(
-            pending, now, cluster.free_procs, self.n_procs, self.env_config
+            visible,
+            now,
+            cluster.free_procs,
+            self.n_procs,
+            self.env_config,
+            cache=self._cache,
+            assume_sorted=True,
+            rows=rows,
         )
         with no_grad():
             logits = self.policy(obs[None], mask[None])
@@ -70,17 +246,48 @@ class RLSchedulerPolicy(Scheduler):
         return visible[int(np.argmax(log_probs))]
 
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
-        meta = {
+    def _meta(self) -> dict:
+        return {
             "preset": self.preset,
             "n_procs": self.n_procs,
+            # The complete EnvConfig: every field shapes the features the
+            # policy sees, so a partial record would rebuild a scheduler
+            # that makes different decisions (e.g. a non-default
+            # wait_scale) after save/load or a worker broadcast.
+            "env_config": dataclasses.asdict(self.env_config),
+            # legacy keys, kept so older readers of the .npz still work
             "max_obsv_size": self.env_config.max_obsv_size,
             "job_features": self.env_config.job_features,
             "name": self.name,
         }
+
+    @classmethod
+    def _from_meta_and_weights(
+        cls, meta: dict, weights: dict
+    ) -> "RLSchedulerPolicy":
+        if "env_config" in meta:
+            env_config = EnvConfig(**meta["env_config"])
+        else:  # pre-PR-2 model file: only the observation shape was stored
+            env_config = EnvConfig(
+                max_obsv_size=meta["max_obsv_size"],
+                job_features=meta["job_features"],
+            )
+        policy = make_policy(
+            meta["preset"], env_config.max_obsv_size, env_config.job_features
+        )
+        policy.load_state_dict(weights)
+        return cls(
+            policy,
+            n_procs=meta["n_procs"],
+            env_config=env_config,
+            preset=meta["preset"],
+            name=meta.get("name"),
+        )
+
+    def save(self, path: str | Path) -> None:
         state = self.policy.state_dict()
         state["__meta__"] = np.frombuffer(
-            json.dumps(meta).encode(), dtype=np.uint8
+            json.dumps(self._meta()).encode(), dtype=np.uint8
         )
         np.savez(path, **state)
 
@@ -89,17 +296,18 @@ class RLSchedulerPolicy(Scheduler):
         with np.load(path) as data:
             meta = json.loads(bytes(data["__meta__"]).decode())
             weights = {k: data[k] for k in data.files if k != "__meta__"}
-        policy = make_policy(
-            meta["preset"], meta["max_obsv_size"], meta["job_features"]
-        )
-        policy.load_state_dict(weights)
-        env_config = EnvConfig(
-            max_obsv_size=meta["max_obsv_size"], job_features=meta["job_features"]
-        )
-        return cls(
-            policy,
-            n_procs=meta["n_procs"],
-            env_config=env_config,
-            preset=meta["preset"],
-            name=meta.get("name"),
-        )
+        return cls._from_meta_and_weights(meta, weights)
+
+    # -- pickling: ship weights + metadata, rebuild the network ----------
+    def __getstate__(self) -> dict:
+        return {
+            "meta": self._meta(),
+            "weights": {
+                k: np.asarray(v).copy()
+                for k, v in self.policy.state_dict().items()
+            },
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        rebuilt = self._from_meta_and_weights(state["meta"], state["weights"])
+        self.__dict__.update(rebuilt.__dict__)

@@ -15,6 +15,7 @@ from .env import (
     StepResult,
     build_observation,
     build_observation_loop,
+    fill_dynamic_features,
     stable_user_hash,
 )
 from .vec_env import VecSchedGym, VecStepResult
@@ -51,6 +52,7 @@ __all__ = [
     "StepResult",
     "build_observation",
     "build_observation_loop",
+    "fill_dynamic_features",
     "stable_user_hash",
     "VecSchedGym",
     "VecStepResult",

@@ -59,8 +59,33 @@ __all__ = [
     "FeatureCache",
     "build_observation",
     "build_observation_loop",
+    "fill_dynamic_features",
     "stable_user_hash",
 ]
+
+
+def fill_dynamic_features(
+    feats: np.ndarray,
+    submit: np.ndarray,
+    procs: np.ndarray,
+    now: float,
+    free_procs: int,
+    n_procs: int,
+    config: EnvConfig,
+) -> np.ndarray:
+    """Overwrite the time/state-dependent columns (0, 3, 4) of ``feats``.
+
+    The single definition of the dynamic half of the observation encoding
+    — shared by :func:`build_observation`'s cached branch and the
+    deployment hot path in
+    :class:`repro.schedulers.rl_scheduler.RLSchedulerPolicy`, so the two
+    can never drift apart.  Mutates and returns ``feats``.
+    """
+    wait = now - submit
+    feats[:, 0] = wait / (wait + config.wait_scale)
+    feats[:, 3] = free_procs / n_procs
+    feats[:, 4] = procs <= free_procs
+    return feats
 
 
 def stable_user_hash(user_id: int | str) -> float:
@@ -166,10 +191,10 @@ def build_observation(
             if rows is None:
                 rows = cache.rows(visible)
             feats = cache.static[rows]  # fancy-index: fresh (k, F) rows
-            wait = now - cache.submit[rows]
-            feats[:, 0] = wait / (wait + config.wait_scale)
-            feats[:, 3] = free_procs / n_procs
-            feats[:, 4] = cache.procs[rows] <= free_procs
+            fill_dynamic_features(
+                feats, cache.submit[rows], cache.procs[rows],
+                now, free_procs, n_procs, config,
+            )
             obs[:k] = feats
         else:
             log_cap = math.log(config.runtime_scale)

@@ -1,0 +1,121 @@
+"""Tests for the CI bench-regression gate (benchmarks/perf/check_regression.py).
+
+The gate has two checks: absolute rollout throughput (gates only on
+comparable hardware) and the vectorization speedup ratio (measured within
+one run, so it gates on every platform).  These tests pin the decision
+table so the CI step stays a real gate rather than a decorative one.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "perf" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def bench_doc(steps_per_sec, speedup, python="3.11.7", cpu_count=4,
+              machine="x86_64"):
+    return {
+        "scales": {
+            "smoke": {
+                "scale": "smoke",
+                "rollout": {
+                    "vectorized_steps_per_sec": steps_per_sec,
+                    "sequential_steps_per_sec": steps_per_sec / speedup,
+                    "speedup": speedup,
+                },
+                "platform": {
+                    "python": python,
+                    "numpy": "2.4.6",
+                    "machine": machine,
+                    "cpu_count": cpu_count,
+                },
+            }
+        }
+    }
+
+
+@pytest.fixture
+def gate(tmp_path):
+    def run(baseline, current, *extra):
+        bp = tmp_path / "baseline.json"
+        cp = tmp_path / "current.json"
+        bp.write_text(json.dumps(baseline))
+        cp.write_text(json.dumps(current))
+        return check_regression.main(
+            ["--baseline", str(bp), "--current", str(cp), "--scale", "smoke",
+             *extra]
+        )
+
+    return run
+
+
+class TestThroughputGate:
+    def test_ok_when_within_tolerance(self, gate):
+        assert gate(bench_doc(30000, 5.0), bench_doc(28000, 5.0)) == 0
+
+    def test_improvement_never_fails(self, gate):
+        assert gate(bench_doc(30000, 5.0), bench_doc(90000, 15.0)) == 0
+
+    def test_same_platform_drop_fails(self, gate):
+        assert gate(bench_doc(30000, 5.0), bench_doc(15000, 5.0)) == 1
+
+    def test_python_patch_bump_still_gates(self, gate):
+        # 3.11.7 vs 3.11.9 is the same platform for throughput purposes;
+        # CI runners bump patch versions constantly.
+        base = bench_doc(30000, 5.0, python="3.11.7")
+        cur = bench_doc(15000, 5.0, python="3.11.9")
+        assert gate(base, cur) == 1
+
+    def test_cross_platform_drop_is_advisory(self, gate):
+        base = bench_doc(30000, 5.0, cpu_count=1)
+        cur = bench_doc(15000, 5.0, cpu_count=4)
+        assert gate(base, cur) == 0
+        assert gate(base, cur, "--strict") == 1
+
+    def test_python_minor_change_is_cross_platform(self, gate):
+        base = bench_doc(30000, 5.0, python="3.11.7")
+        cur = bench_doc(15000, 5.0, python="3.12.1")
+        assert gate(base, cur) == 0
+
+
+class TestSpeedupRatioGate:
+    def test_ratio_collapse_fails_even_cross_platform(self, gate):
+        # Throughput drop would be advisory on different hardware, but the
+        # speedup ratio is measured within the current run — a collapse
+        # toward the sequential path gates everywhere.
+        base = bench_doc(30000, 5.0, cpu_count=1)
+        cur = bench_doc(15000, 1.2, cpu_count=4)
+        assert gate(base, cur) == 1
+
+    def test_ratio_within_tolerance_passes(self, gate):
+        base = bench_doc(30000, 5.0, cpu_count=1)
+        cur = bench_doc(25000, 3.5, cpu_count=4)  # 30% ratio drop < 40%
+        assert gate(base, cur) == 0
+
+    def test_ratio_tolerance_flag(self, gate):
+        base = bench_doc(30000, 5.0, cpu_count=1)
+        cur = bench_doc(25000, 3.5, cpu_count=4)
+        assert gate(base, cur, "--ratio-tolerance", "0.2") == 1
+
+    def test_missing_ratio_skips_check(self, gate):
+        base = bench_doc(30000, 5.0)
+        del base["scales"]["smoke"]["rollout"]["speedup"]
+        assert gate(base, bench_doc(29000, 5.0)) == 0
+
+
+class TestInputs:
+    def test_missing_baseline_scale_passes(self, gate):
+        assert gate({"scales": {}}, bench_doc(30000, 5.0)) == 0
+
+    def test_missing_current_scale_errors(self, gate):
+        assert gate(bench_doc(30000, 5.0), {"scales": {}}) == 2
+
+    def test_flat_pre_pr2_baseline_supported(self, gate):
+        flat = bench_doc(30000, 5.0)["scales"]["smoke"]
+        assert gate(flat, bench_doc(15000, 5.0)) == 1

@@ -22,6 +22,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evaluate", "Lublin-1", "--metric", "xyz"])
 
+    def test_workers_defaults_to_one(self):
+        args = build_parser().parse_args(["evaluate", "Lublin-1"])
+        assert args.workers == 1
+        args = build_parser().parse_args(["train", "Lublin-1", "-o", "m.npz"])
+        assert args.workers == 1
+
+    def test_workers_rejects_nonpositive(self):
+        for bad in ("0", "-2"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["evaluate", "Lublin-1",
+                                           "--workers", bad])
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["train", "Lublin-1", "-o", "m.npz",
+                                           "--workers", bad])
+
 
 class TestCommands:
     def test_traces(self, capsys):
@@ -45,6 +60,27 @@ class TestCommands:
         out = capsys.readouterr().out
         for name in ("FCFS", "SJF", "WFP3", "UNICEP", "F1"):
             assert name in out
+        assert "±" in out  # per-sequence spread is part of the row
+
+    def test_evaluate_with_workers_matches_serial(self, capsys):
+        serial_args = ["evaluate", "Lublin-1", "--jobs", "600",
+                       "--sequences", "2", "--length", "32"]
+        assert main(serial_args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(serial_args + ["--workers", "2"]) == 0
+        workers_out = capsys.readouterr().out
+        # identical scores, only the workers= header differs
+        assert serial_out.splitlines()[1:] == workers_out.splitlines()[1:]
+
+    def test_train_with_workers(self, tmp_path, capsys):
+        model = tmp_path / "m.npz"
+        code = main([
+            "train", "Lublin-1", "--jobs", "600", "--epochs", "1",
+            "--trajectories", "2", "--length", "16", "--obsv", "8",
+            "--workers", "2", "-o", str(model),
+        ])
+        assert code == 0
+        assert model.exists()
 
     def test_train_then_evaluate_with_model(self, tmp_path, capsys):
         model = tmp_path / "m.npz"

@@ -4,7 +4,13 @@ import dataclasses
 
 import pytest
 
-from repro.config import EnvConfig, EvalConfig, PPOConfig, TrainConfig
+from repro.config import (
+    EnvConfig,
+    EvalConfig,
+    PPOConfig,
+    RuntimeConfig,
+    TrainConfig,
+)
 
 
 class TestEnvConfig:
@@ -55,3 +61,41 @@ class TestEvalConfig:
         cfg = EvalConfig()
         assert cfg.n_sequences == 10       # "repeated 10 times"
         assert cfg.sequence_length == 1024  # "1,024 continuous jobs"
+        assert cfg.runtime == RuntimeConfig()  # serial unless asked
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvalConfig(n_sequences=0)
+        with pytest.raises(ValueError):
+            EvalConfig(sequence_length=-1)
+        with pytest.raises(TypeError):
+            EvalConfig(runtime="process")
+
+
+class TestRuntimeConfig:
+    def test_defaults_are_serial(self):
+        cfg = RuntimeConfig()
+        assert cfg.backend == "serial"
+        assert cfg.workers == 1
+        assert cfg.chunksize is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(backend="threads")
+        with pytest.raises(ValueError):
+            RuntimeConfig(workers=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(chunksize=0)
+
+    def test_from_workers_cli_convention(self):
+        assert RuntimeConfig.from_workers(1) == RuntimeConfig()
+        multi = RuntimeConfig.from_workers(4)
+        assert multi.backend == "process" and multi.workers == 4
+        with pytest.raises(ValueError):
+            RuntimeConfig.from_workers(0)
+
+    def test_threads_through_train_config(self):
+        cfg = TrainConfig(runtime=RuntimeConfig.from_workers(2))
+        assert cfg.runtime.backend == "process"
+        with pytest.raises(TypeError):
+            TrainConfig(runtime=2)

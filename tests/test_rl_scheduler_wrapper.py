@@ -1,13 +1,16 @@
 """Unit tests for deploying trained policies as schedulers (save/load,
-greedy selection, run_scheduler interop)."""
+greedy selection, run_scheduler interop, sparse hot path)."""
+
+import pickle
 
 import numpy as np
 import pytest
 
 from repro.config import EnvConfig
-from repro.nn import KernelPolicy
+from repro.nn import KernelPolicy, make_policy, masked_log_softmax, no_grad
 from repro.schedulers import RLSchedulerPolicy
-from repro.sim import Cluster, run_scheduler
+from repro.schedulers.rl_scheduler import DeployFeatureCache
+from repro.sim import Cluster, build_observation, run_scheduler
 from repro.workloads import Job
 
 
@@ -55,6 +58,215 @@ class TestSelect:
         jobs = [job(i, submit=i * 5.0) for i in range(1, 20)]
         done = run_scheduler(jobs, 8, policy_scheduler)
         assert len(done) == 19
+
+
+def random_pending(rng, n, n_procs=64):
+    return [
+        Job(
+            job_id=int(rng.integers(1, 50_000)) * 64 + i,
+            submit_time=float(rng.uniform(0, 1e5)),
+            run_time=10.0,
+            requested_procs=int(rng.integers(1, n_procs + 1)),
+            requested_time=float(rng.uniform(1, 4e5)),
+            user_id=int(rng.integers(0, 200)),
+        )
+        for i in range(n)
+    ]
+
+
+def cluster_with_free(n_procs, free):
+    cluster = Cluster(n_procs)
+    if free < n_procs:
+        cluster.allocate(Job(job_id=10**9, submit_time=0.0, run_time=1.0,
+                             requested_procs=n_procs - free,
+                             requested_time=1.0))
+    return cluster
+
+
+class TestSparseSelectGolden:
+    """The deployment hot path (score_rows + persistent DeployFeatureCache)
+    must pick the same job as the reference dense batch-1 forward."""
+
+    def dense_reference(self, policy, cfg, pending, now, cluster, n_procs):
+        obs, mask, visible = build_observation(
+            pending, now, cluster.free_procs, n_procs, cfg
+        )
+        with no_grad():
+            logits = policy(obs[None], mask[None])
+            log_probs = masked_log_softmax(logits, mask[None]).numpy()[0]
+        return visible[int(np.argmax(log_probs))]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_argmax_equivalent_to_dense(self, seed):
+        rng = np.random.default_rng(seed)
+        cfg = EnvConfig(max_obsv_size=16)
+        policy = KernelPolicy(cfg.job_features, seed=0)
+        sched = RLSchedulerPolicy(policy, n_procs=64, env_config=cfg)
+        for _ in range(60):
+            pending = random_pending(rng, int(rng.integers(1, 40)))
+            now = max(j.submit_time for j in pending) + float(
+                rng.uniform(0, 1e4)
+            )
+            cluster = cluster_with_free(64, int(rng.integers(0, 65)))
+            assert (
+                sched.select(pending, now, cluster).job_id
+                == self.dense_reference(
+                    policy, cfg, pending, now, cluster, 64
+                ).job_id
+            )
+
+    def test_cache_persists_and_grows_across_calls(self):
+        rng = np.random.default_rng(9)
+        cfg = EnvConfig(max_obsv_size=16)
+        sched = RLSchedulerPolicy(
+            KernelPolicy(cfg.job_features, seed=0), n_procs=64, env_config=cfg
+        )
+        first = random_pending(rng, 10)
+        sched.select(first, 2e5, Cluster(64))
+        cache = sched._cache
+        assert cache is not None and cache.size == 10
+        sched.select(first + random_pending(rng, 3), 2e5, Cluster(64))
+        assert sched._cache is cache  # same cache, grown in place
+        assert cache.size == 13
+
+    def test_cache_self_heals_on_reused_job_ids(self):
+        """The same job ids with different attributes (a different trace)
+        must not leak stale features into the decision."""
+        cfg = EnvConfig(max_obsv_size=16)
+        policy = KernelPolicy(cfg.job_features, seed=0)
+        sched = RLSchedulerPolicy(policy, n_procs=64, env_config=cfg)
+        rng = np.random.default_rng(2)
+        old = random_pending(rng, 8)
+        sched.select(old, 2e5, Cluster(64))
+        # same ids, different submit/procs — as a new trace would produce
+        renewed = [
+            Job(job_id=j.job_id, submit_time=j.submit_time + 7.0,
+                run_time=j.run_time, requested_procs=(j.requested_procs % 64) + 1,
+                requested_time=j.requested_time * 2.0, user_id=j.user_id)
+            for j in old
+        ]
+        now = max(j.submit_time for j in renewed) + 10.0
+        cluster = cluster_with_free(64, 33)
+        assert (
+            sched.select(renewed, now, cluster).job_id
+            == self.dense_reference(
+                policy, cfg, renewed, now, cluster, 64
+            ).job_id
+        )
+
+    def test_cache_self_heals_on_requested_time_only_change(self):
+        """Staleness validation must cover every feature-bearing attribute,
+        including ones (requested_time, user) that do not change submit or
+        processor request."""
+        cfg = EnvConfig(max_obsv_size=16)
+        policy = KernelPolicy(cfg.job_features, seed=0)
+        sched = RLSchedulerPolicy(policy, n_procs=64, env_config=cfg)
+        rng = np.random.default_rng(11)
+        old = random_pending(rng, 6)
+        sched.select(old, 2e5, Cluster(64))
+        renewed = [
+            Job(job_id=j.job_id, submit_time=j.submit_time,
+                run_time=j.run_time, requested_procs=j.requested_procs,
+                requested_time=j.requested_time * 3.0, user_id=j.user_id + 1)
+            for j in old
+        ]
+        cluster = cluster_with_free(64, 20)
+        assert (
+            sched.select(renewed, 2e5, cluster).job_id
+            == self.dense_reference(
+                policy, cfg, renewed, 2e5, cluster, 64
+            ).job_id
+        )
+
+    def test_duplicate_ids_in_one_queue_do_not_recurse(self):
+        """Conflicting duplicate job ids are pathological but must degrade
+        to uncached per-call rows, not infinite rebuild recursion."""
+        cfg = EnvConfig(max_obsv_size=16)
+        policy = KernelPolicy(cfg.job_features, seed=0)
+        sched = RLSchedulerPolicy(policy, n_procs=64, env_config=cfg)
+        dup = [
+            Job(job_id=7, submit_time=1.0, run_time=5.0, requested_procs=2,
+                requested_time=50.0, user_id=1),
+            Job(job_id=7, submit_time=2.0, run_time=5.0, requested_procs=9,
+                requested_time=80.0, user_id=2),
+        ]
+        cluster = cluster_with_free(64, 30)
+        for _ in range(3):  # revalidates (and rebuilds) every call
+            got = sched.select(dup, 10.0, cluster)
+            want = self.dense_reference(policy, cfg, dup, 10.0, cluster, 64)
+            # ids collide by construction, so compare the distinguishing field
+            assert got.requested_procs == want.requested_procs
+
+    def test_mlp_fallback_uses_dense_path(self):
+        cfg = EnvConfig(max_obsv_size=16)
+        mlp = make_policy("mlp_v1", 16, cfg.job_features, seed=0)
+        sched = RLSchedulerPolicy(mlp, n_procs=64, env_config=cfg,
+                                  preset="mlp_v1")
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            pending = random_pending(rng, 12)
+            now = max(j.submit_time for j in pending)
+            cluster = cluster_with_free(64, int(rng.integers(0, 65)))
+            assert (
+                sched.select(pending, now, cluster).job_id
+                == self.dense_reference(
+                    mlp, cfg, pending, now, cluster, 64
+                ).job_id
+            )
+
+
+class TestDeployFeatureCache:
+    def test_capacity_doubles(self):
+        cfg = EnvConfig(max_obsv_size=8)
+        cache = DeployFeatureCache(64, cfg)
+        rng = np.random.default_rng(0)
+        cache.rows(random_pending(rng, 70))
+        assert cache.size == 70
+        assert len(cache.submit) >= 70  # grown past the 64-row floor
+        assert cache.static.shape[1] == cfg.job_features
+
+
+class TestCheckedNProcs:
+    def test_constructor_validates(self):
+        cfg = EnvConfig(max_obsv_size=8)
+        policy = KernelPolicy(cfg.job_features, seed=0)
+        with pytest.raises(ValueError):
+            RLSchedulerPolicy(policy, n_procs=0, env_config=cfg)
+        with pytest.raises(ValueError):
+            RLSchedulerPolicy(policy, n_procs=-8, env_config=cfg)
+        with pytest.raises(TypeError):
+            RLSchedulerPolicy(policy, n_procs=8.5, env_config=cfg)
+        with pytest.raises(TypeError):
+            RLSchedulerPolicy(policy, n_procs=True, env_config=cfg)
+
+    def test_setter_validates_and_resets_cache(self, policy_scheduler):
+        pending = [job(1), job(2)]
+        policy_scheduler.select(pending, 0.0, Cluster(8))
+        assert policy_scheduler._cache is not None
+        policy_scheduler.n_procs = 16  # retarget: fractions change
+        assert policy_scheduler._cache is None
+        assert policy_scheduler.n_procs == 16
+        with pytest.raises(ValueError):
+            policy_scheduler.n_procs = 0
+        with pytest.raises(TypeError):
+            policy_scheduler.n_procs = "8"
+        assert policy_scheduler.n_procs == 16  # bad writes changed nothing
+
+    def test_numpy_integer_accepted(self, policy_scheduler):
+        policy_scheduler.n_procs = np.int64(32)
+        assert policy_scheduler.n_procs == 32
+
+
+class TestPickleBroadcast:
+    def test_pickle_round_trip_selects_identically(self, policy_scheduler):
+        clone = pickle.loads(pickle.dumps(policy_scheduler))
+        assert clone.n_procs == policy_scheduler.n_procs
+        assert clone.preset == policy_scheduler.preset
+        pending = [job(1), job(2, run=99.0), job(3, procs=4)]
+        assert (
+            clone.select(pending, 0.0, Cluster(8)).job_id
+            == policy_scheduler.select(pending, 0.0, Cluster(8)).job_id
+        )
 
 
 class TestPersistence:

@@ -12,6 +12,10 @@ Measures, in one run:
 * ``rollout.speedup`` — the ratio (the PR-1 acceptance bar is ≥ 5×).
 * ``engine.events_per_sec`` — raw discrete-event engine throughput
   (FCFS schedule, no network in the loop).
+* ``scenarios.<name>.events_per_sec`` — the same engine throughput per
+  registered scenario (workload × cluster, including the backfilling and
+  memory-constrained variants), so scenario-dependent slowdowns show up
+  in the measured trajectory.
 * ``ppo_update.sec_per_iter`` — one PPO minibatch iteration (policy or
   value step) on the batch the vectorised rollout collected.
 * ``runtime.*`` — worker scaling of the PR-2 execution runtime: rollout
@@ -236,6 +240,35 @@ def bench_engine(trace, n_jobs):
     return 2 * len(jobs) / elapsed  # one arrival + one finish per job
 
 
+#: Scenario spread for the per-scenario engine bench: the default, a
+#: different job-shape mix, a bursty-arrival cluster, and the
+#: memory-constrained variant (exercises the resource-vector hot path).
+BENCH_SCENARIOS = (
+    "lublin-256", "lublin-256-wide", "bursty-sdsc", "lublin-256-mem"
+)
+
+
+def bench_scenarios(n_jobs):
+    """Per-scenario engine throughput (FCFS under each scenario's cluster
+    and protocol backfill mode)."""
+    from repro.scenarios import get_scenario
+
+    out = {}
+    for name in BENCH_SCENARIOS:
+        scen = get_scenario(name)
+        trace = scen.build_trace(n_jobs=n_jobs)
+        start = time.perf_counter()
+        run_scheduler(trace.jobs, scen.cluster, FCFS(),
+                      backfill=scen.protocol.backfill)
+        elapsed = time.perf_counter() - start
+        out[name] = {
+            "events_per_sec": 2 * len(trace) / elapsed,
+            "n_jobs": len(trace),
+            "backfill": bool(scen.protocol.backfill),
+        }
+    return out
+
+
 def bench_ppo_update(agent, buffer, ppo_cfg):
     data = buffer.get()
     start = time.perf_counter()
@@ -310,6 +343,12 @@ def main(argv=None):
     events_per_sec = bench_engine(trace, min(n_jobs, 4000))
     print(f"[perf] engine: {events_per_sec:,.0f} events/s")
 
+    scenario_report = bench_scenarios(min(n_jobs, 4000))
+    print("[perf] scenarios: " + ", ".join(
+        f"{name} {entry['events_per_sec']:,.0f} ev/s"
+        for name, entry in scenario_report.items()
+    ))
+
     # Untimed buffered collection feeds the PPO-update bench.
     buffer = TrajectoryBuffer(gamma=ppo_cfg.gamma, lam=ppo_cfg.lam)
     rollout_vectorized(agent, env_cfg, trace.max_procs, sequences, n_envs,
@@ -351,6 +390,7 @@ def main(argv=None):
             "speedup": speedup,
         },
         "engine": {"events_per_sec": events_per_sec},
+        "scenarios": scenario_report,
         "ppo_update": {"sec_per_iter": sec_per_iter, "batch_steps": batch_steps},
         "runtime": runtime_report,
         "platform": {

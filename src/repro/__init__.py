@@ -22,12 +22,20 @@ Quickstart::
     )
 """
 
-from . import api, config, nn, rl, runtime, schedulers, sim, workloads
-from .api import EvalResult, compare, evaluate, train
-from .config import EnvConfig, EvalConfig, PPOConfig, RuntimeConfig, TrainConfig
+from . import api, config, nn, rl, runtime, scenarios, schedulers, sim, workloads
+from .api import EvalResult, compare, evaluate, scenario_matrix, train
+from .config import (
+    EnvConfig,
+    EvalConfig,
+    PPOConfig,
+    RuntimeConfig,
+    ScenarioConfig,
+    TrainConfig,
+)
 from .rl import Trainer, TrainingResult
+from .scenarios import Scenario, available_scenarios, get_scenario
 from .schedulers import RLSchedulerPolicy
-from .sim import SchedGym, run_scheduler
+from .sim import ClusterSpec, SchedGym, run_scheduler
 from .workloads import load_trace
 
 __version__ = "1.0.0"
@@ -38,21 +46,28 @@ __all__ = [
     "nn",
     "rl",
     "runtime",
+    "scenarios",
     "schedulers",
     "sim",
     "workloads",
     "train",
     "evaluate",
     "compare",
+    "scenario_matrix",
     "EvalResult",
     "EnvConfig",
     "PPOConfig",
     "TrainConfig",
     "EvalConfig",
     "RuntimeConfig",
+    "ScenarioConfig",
     "Trainer",
     "TrainingResult",
     "RLSchedulerPolicy",
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
+    "ClusterSpec",
     "SchedGym",
     "run_scheduler",
     "load_trace",

@@ -4,11 +4,16 @@ Commands
 --------
 ``traces``
     List available workloads and their Table II characteristics.
+``scenarios``
+    List the registered scenarios (workload × cluster × protocol).
 ``generate``
     Write a synthetic workload to an SWF file.
 ``evaluate``
     Score heuristic schedulers (and optionally a saved RL model) on a
-    workload — one Table V/VI/X/XI row from the shell.
+    workload or a scenario — one Table V/VI/X/XI row from the shell.
+``compare``
+    The scenario × scheduler evaluation matrix, optionally written to a
+    JSON artifact.
 ``train``
     Train an RL scheduling policy and save it as ``.npz``.
 
@@ -17,17 +22,21 @@ Examples
 ::
 
     python -m repro traces
+    python -m repro scenarios
     python -m repro generate PIK-IPLEX --jobs 10000 -o pik.swf
     python -m repro evaluate Lublin-1 --metric bsld --backfill
-    python -m repro evaluate Lublin-1 --workers 4
+    python -m repro evaluate --scenario lublin-256-mem --workers 4
+    python -m repro compare --scenarios lublin-256,bursty-sdsc \\
+        --schedulers FCFS,SJF --workers 2 -o matrix.json
     python -m repro train Lublin-1 --metric bsld --epochs 20 -o model.npz
-    python -m repro train Lublin-1 --workers 4 -o model.npz
+    python -m repro train --scenario lublin-64 -o model.npz
     python -m repro evaluate Lublin-1 --model model.npz
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import (
@@ -35,12 +44,15 @@ from . import (
     EnvConfig,
     PPOConfig,
     RuntimeConfig,
+    ScenarioConfig,
     TrainConfig,
     compare,
     load_trace,
+    scenario_matrix,
     train,
 )
-from .schedulers import HEURISTICS, RLSchedulerPolicy
+from .scenarios import available_scenarios, get_scenario
+from .schedulers import HEURISTICS, RLSchedulerPolicy, make_scheduler
 from .sim.metrics import METRICS
 from .workloads import available_traces, characterize, write_swf
 
@@ -58,6 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=2000)
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser("scenarios", help="list registered scenarios")
+    p.add_argument("action", nargs="?", choices=["list"], default="list")
+
     p = sub.add_parser("generate", help="write a synthetic workload to SWF")
     p.add_argument("name", choices=available_traces())
     p.add_argument("--jobs", type=int, default=10_000)
@@ -65,10 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
 
     p = sub.add_parser("evaluate", help="compare schedulers on a workload")
-    p.add_argument("name")
+    p.add_argument("name", nargs="?", default=None,
+                   help="trace name (omit when using --scenario)")
+    p.add_argument("--scenario", default=None,
+                   help="registered scenario name (workload + cluster + "
+                        "protocol defaults)")
     p.add_argument("--jobs", type=int, default=4000)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--metric", choices=sorted(METRICS), default="bsld")
+    p.add_argument("--metric", choices=sorted(METRICS), default=None)
     p.add_argument("--backfill", action="store_true")
     p.add_argument("--sequences", type=int, default=4)
     p.add_argument("--length", type=int, default=256)
@@ -78,8 +97,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="fan sequences over N worker processes (1 = serial)")
 
+    p = sub.add_parser(
+        "compare", help="scenario × scheduler evaluation matrix"
+    )
+    p.add_argument("--scenarios", default=None,
+                   help="comma-separated scenario names (default: all "
+                        "registered)")
+    p.add_argument("--schedulers", default="FCFS,SJF,WFP3,UNICEP,F1",
+                   help="comma-separated scheduler names")
+    p.add_argument("--metric", choices=sorted(METRICS), default=None,
+                   help="override every scenario's protocol metric")
+    p.add_argument("--backfill", action="store_true")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="shrink every scenario workload to N jobs")
+    p.add_argument("--sequences", type=int, default=4)
+    p.add_argument("--length", type=int, default=128)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="fan matrix cells over N worker processes")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the matrix as JSON")
+
     p = sub.add_parser("train", help="train an RL policy and save it")
-    p.add_argument("name")
+    p.add_argument("name", nargs="?", default=None,
+                   help="trace name (omit when using --scenario)")
+    p.add_argument("--scenario", default=None,
+                   help="registered scenario name to train inside")
     p.add_argument("--jobs", type=int, default=4000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--metric", choices=sorted(METRICS), default="bsld")
@@ -115,6 +158,22 @@ def _cmd_traces(args) -> int:
     return 0
 
 
+def _cmd_scenarios(args) -> int:
+    names = available_scenarios()
+    print(f"{'Scenario':<17} {'procs':>7} {'mem':>6} {'workload':<14} "
+          f"{'protocol':<22} description")
+    for name in names:
+        s = get_scenario(name)
+        proto = s.protocol
+        mem = "-" if s.cluster.memory is None else f"{s.cluster.memory:g}"
+        bf = "+bf" if proto.backfill else ""
+        proto_s = f"{proto.n_sequences}x{proto.sequence_length} {proto.metric}{bf}"
+        print(f"{name:<17} {s.cluster.n_procs:>7} {mem:>6} "
+              f"{s.workload.trace:<14} {proto_s:<22} {s.description}")
+    print(f"{len(names)} scenarios registered")
+    return 0
+
+
 def _cmd_generate(args) -> int:
     trace = load_trace(args.name, n_jobs=args.jobs, seed=args.seed)
     write_swf(trace, args.output)
@@ -123,31 +182,121 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    trace = load_trace(args.name, n_jobs=args.jobs, seed=args.seed,
-                       swf_dir=args.swf_dir)
+    if (args.name is None) == (args.scenario is None):
+        print("evaluate: pass a trace name or --scenario (not both)",
+              file=sys.stderr)
+        return 2
+    runtime = RuntimeConfig.from_workers(args.workers)
     schedulers = [cls() for cls in HEURISTICS.values()]
+    if args.scenario:
+        scen = get_scenario(args.scenario)  # fail fast on unknown names
+        config = EvalConfig(
+            n_sequences=args.sequences, sequence_length=args.length,
+            seed=scen.protocol.seed, runtime=runtime,
+            scenario=ScenarioConfig(name=args.scenario, n_jobs=args.jobs,
+                                    seed=args.seed),
+        )
+        n_procs = scen.cluster.n_procs
+        metric = args.metric or scen.protocol.metric
+        backfill = True if args.backfill else None  # None = protocol default
+        backfill_on = bool(args.backfill or scen.protocol.backfill)
+        trace_arg, label = None, f"scenario {scen.name}"
+    else:
+        trace_arg = load_trace(args.name, n_jobs=args.jobs, seed=args.seed,
+                               swf_dir=args.swf_dir)
+        config = EvalConfig(n_sequences=args.sequences,
+                            sequence_length=args.length, seed=42,
+                            runtime=runtime)
+        n_procs = trace_arg.max_procs
+        metric = args.metric or "bsld"
+        backfill = args.backfill
+        backfill_on = args.backfill
+        label = trace_arg.name
     if args.model:
         rl = RLSchedulerPolicy.load(args.model)
-        # Retarget the saved policy at this trace's cluster through the
-        # checked setter: a bogus size fails loudly here, not mid-run.
-        rl.n_procs = trace.max_procs
+        # Retarget the saved policy at this cluster through the checked
+        # setter: a bogus size fails loudly here, not mid-run.
+        rl.n_procs = n_procs
         schedulers.append(rl)
-    config = EvalConfig(n_sequences=args.sequences,
-                        sequence_length=args.length, seed=42,
-                        runtime=RuntimeConfig.from_workers(args.workers))
-    scores = compare(schedulers, trace, metric=args.metric,
-                     backfill=args.backfill, config=config)
-    mode = "backfill" if args.backfill else "no backfill"
-    print(f"{args.metric} on {trace.name} ({mode}, "
+    scores = compare(schedulers, trace_arg, metric=metric,
+                     backfill=backfill, config=config)
+    mode = "backfill" if backfill_on else "no backfill"
+    print(f"{metric} on {label} ({mode}, "
           f"{args.sequences}x{args.length} jobs, workers={args.workers}):")
     for name, value in scores.items():
         print(f"  {name:<14} {float(value):12.3f} ± {value.std:.3f}")
     return 0
 
 
+def _cmd_compare(args) -> int:
+    names = ([n.strip() for n in args.scenarios.split(",")] if args.scenarios
+             else available_scenarios())
+    scheds = [make_scheduler(n.strip()) for n in args.schedulers.split(",")]
+    config = EvalConfig(
+        n_sequences=args.sequences, sequence_length=args.length,
+        seed=args.seed, runtime=RuntimeConfig.from_workers(args.workers),
+    )
+    matrix = scenario_matrix(
+        scheds, names, metric=args.metric,
+        backfill=True if args.backfill else None,
+        config=config, n_jobs=args.jobs,
+    )
+    sched_names = [s.name for s in scheds]
+    width = max(len(n) for n in matrix) + 2
+    print(f"scenario × scheduler matrix "
+          f"({args.sequences}x{args.length} jobs, workers={args.workers}):")
+    print(" " * width + "".join(f"{n:>14}" for n in sched_names))
+    for scen_name, row in matrix.items():
+        cells = "".join(f"{float(row[n]):14.3f}" for n in sched_names)
+        print(f"{scen_name:<{width}}{cells}")
+    if args.output:
+        doc = {
+            "config": {
+                "scenarios": list(matrix),
+                "schedulers": sched_names,
+                "n_sequences": args.sequences,
+                "sequence_length": args.length,
+                "seed": args.seed,
+                "n_jobs": args.jobs,
+                "metric_override": args.metric,
+                "workers": args.workers,
+            },
+            "results": {
+                scen_name: {
+                    name: {
+                        "mean": float(r),
+                        "std": r.std,
+                        "n": r.n,
+                        "values": [float(v) for v in r.values],
+                    }
+                    for name, r in row.items()
+                }
+                for scen_name, row in matrix.items()
+            },
+        }
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_train(args) -> int:
-    trace = load_trace(args.name, n_jobs=args.jobs, seed=args.seed,
-                       swf_dir=args.swf_dir)
+    if (args.name is None) == (args.scenario is None):
+        print("train: pass a trace name or --scenario (not both)",
+              file=sys.stderr)
+        return 2
+    scenario_cfg = None
+    trace = None
+    if args.scenario:
+        get_scenario(args.scenario)  # fail fast on unknown names
+        scenario_cfg = ScenarioConfig(name=args.scenario, n_jobs=args.jobs,
+                                      seed=args.seed)
+        trace_label = f"scenario {args.scenario}"
+    else:
+        trace = load_trace(args.name, n_jobs=args.jobs, seed=args.seed,
+                           swf_dir=args.swf_dir)
+        trace_label = trace.name
     result = train(
         trace,
         metric=args.metric,
@@ -161,12 +310,13 @@ def _cmd_train(args) -> int:
             seed=args.seed,
             use_trajectory_filter=args.filter,
             runtime=RuntimeConfig.from_workers(args.workers),
+            scenario=scenario_cfg,
         ),
     )
     sched = result.as_scheduler()
     sched.save(args.output)
     curve = result.metric_curve()
-    print(f"trained {args.policy} on {trace.name} for {args.metric}: "
+    print(f"trained {args.policy} on {trace_label} for {args.metric}: "
           f"epoch-0 {curve[0]:.2f} -> best {curve.min():.2f} "
           f"(epoch {result.best_epoch})")
     print(f"saved to {args.output}")
@@ -175,8 +325,10 @@ def _cmd_train(args) -> int:
 
 _COMMANDS = {
     "traces": _cmd_traces,
+    "scenarios": _cmd_scenarios,
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
+    "compare": _cmd_compare,
     "train": _cmd_train,
 }
 

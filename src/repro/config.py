@@ -13,7 +13,39 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["EnvConfig", "PPOConfig", "TrainConfig", "EvalConfig", "RuntimeConfig"]
+__all__ = [
+    "EnvConfig",
+    "PPOConfig",
+    "TrainConfig",
+    "EvalConfig",
+    "RuntimeConfig",
+    "ScenarioConfig",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Pointer to a registered scenario (see :mod:`repro.scenarios`).
+
+    Scenarios bundle a workload, a cluster and an evaluation protocol
+    behind one name; this config selects one and optionally overrides the
+    workload size/seed.  Resolution happens in :mod:`repro.scenarios`
+    (``get_scenario(config.name)``) — the config itself is plain data so
+    it can live inside the frozen train/eval configs and pickle cleanly
+    to runtime workers.
+    """
+
+    name: str = "lublin-256"
+    #: override the scenario workload's job count (None = scenario default)
+    n_jobs: int | None = None
+    #: override the scenario workload's generation seed (None = default)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.n_jobs is not None and self.n_jobs <= 0:
+            raise ValueError(f"n_jobs must be positive, got {self.n_jobs}")
 
 
 @dataclass(frozen=True)
@@ -63,12 +95,25 @@ class EnvConfig:
     backfill: bool = False
     wait_scale: float = 86_400.0      # saturating scale for wait-time feature
     runtime_scale: float = 5 * 86_400.0  # log-normalisation cap for runtimes
+    #: append per-resource memory columns (7: job memory-demand fraction,
+    #: 8: free-memory fraction) for memory-constrained scenarios; the
+    #: default 7-feature layout is byte-identical with this off
+    memory_features: bool = False
+
+    #: observation columns filled only when ``memory_features`` is on
+    MEM_DEMAND_COL = 7
+    MEM_FREE_COL = 8
 
     def __post_init__(self) -> None:
         if self.max_obsv_size <= 0:
             raise ValueError("max_obsv_size must be positive")
         if self.job_features < 5:
             raise ValueError("need at least the 5 core job features")
+        if self.memory_features and self.job_features < 9:
+            raise ValueError(
+                "memory_features needs job_features >= 9 (columns 7 and 8 "
+                f"carry the per-resource demands), got {self.job_features}"
+            )
 
     @property
     def observation_shape(self) -> tuple[int, int]:
@@ -112,6 +157,9 @@ class TrainConfig:
     vectorized: bool = True       # collect rollouts through the vec env
     n_envs: int = 16              # environments stepped in lock-step
     runtime: RuntimeConfig = RuntimeConfig()  # where env shards execute
+    #: train inside a named scenario (workload + cluster); None = caller
+    #: supplies the trace and cluster explicitly
+    scenario: ScenarioConfig | None = None
 
     def __post_init__(self) -> None:
         if min(self.epochs, self.trajectories_per_epoch, self.trajectory_length) <= 0:
@@ -120,6 +168,8 @@ class TrainConfig:
             raise ValueError("n_envs must be positive")
         if not isinstance(self.runtime, RuntimeConfig):
             raise TypeError("runtime must be a RuntimeConfig")
+        if self.scenario is not None and not isinstance(self.scenario, ScenarioConfig):
+            raise TypeError("scenario must be a ScenarioConfig (or None)")
 
 
 @dataclass(frozen=True)
@@ -130,9 +180,14 @@ class EvalConfig:
     sequence_length: int = 1024
     seed: int = 42
     runtime: RuntimeConfig = RuntimeConfig()  # where sequence runs execute
+    #: evaluate inside a named scenario (workload + cluster + protocol);
+    #: None = caller supplies the trace explicitly
+    scenario: ScenarioConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_sequences <= 0 or self.sequence_length <= 0:
             raise ValueError("n_sequences and sequence_length must be positive")
         if not isinstance(self.runtime, RuntimeConfig):
             raise TypeError("runtime must be a RuntimeConfig")
+        if self.scenario is not None and not isinstance(self.scenario, ScenarioConfig):
+            raise TypeError("scenario must be a ScenarioConfig (or None)")

@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.schedulers.heuristics import SJF
+from repro.sim.cluster import ClusterSpec
 from repro.sim.metrics import metric_by_name
 from repro.sim.simulator import run_scheduler
 from repro.workloads.job import Job
@@ -51,19 +52,27 @@ def probe_distribution(
     sequence_length: int = 256,
     seed: int = 0,
     backfill: bool = False,
+    cluster: "ClusterSpec | int | None" = None,
 ) -> np.ndarray:
-    """SJF-scheduled metric values over random sequence windows (Fig. 7)."""
+    """SJF-scheduled metric values over random sequence windows (Fig. 7).
+
+    ``cluster`` lets scenario training probe on the scenario's (possibly
+    memory-constrained) cluster; the default is the trace's own size.
+    """
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
     fn, _ = metric_by_name(metric)
+    cluster = ClusterSpec.coerce(
+        trace.max_procs if cluster is None else cluster
+    )
     sampler = SequenceSampler(trace, sequence_length, seed=seed)
     sjf = SJF()
     values = np.empty(n_samples)
     for i in range(n_samples):
         completed = run_scheduler(
-            sampler.sample(), trace.max_procs, sjf, backfill=backfill
+            sampler.sample(), cluster, sjf, backfill=backfill
         )
-        values[i] = fn(completed, trace.max_procs)
+        values[i] = fn(completed, cluster.n_procs)
     return values
 
 
@@ -82,6 +91,7 @@ class TrajectoryFilter:
         n_samples: int = 200,
         sequence_length: int = 256,
         seed: int = 0,
+        cluster: "ClusterSpec | int | None" = None,
     ) -> FilterRange:
         """Build the Fig. 7 distribution and derive ``R = (median, 2·mean)``."""
         values = probe_distribution(
@@ -91,6 +101,7 @@ class TrajectoryFilter:
             sequence_length=sequence_length,
             seed=seed,
             backfill=self.backfill,
+            cluster=cluster,
         )
         mean = float(values.mean())
         median = float(np.median(values))
@@ -101,12 +112,15 @@ class TrajectoryFilter:
         )
         return self.range
 
-    def sequence_value(self, jobs: Sequence[Job], n_procs: int) -> float:
+    def sequence_value(
+        self, jobs: Sequence[Job], n_procs: "int | ClusterSpec"
+    ) -> float:
         """The SJF metric of one candidate sequence (the filter criterion)."""
-        completed = run_scheduler(jobs, n_procs, SJF(), backfill=self.backfill)
-        return self._fn(completed, n_procs)
+        cluster = ClusterSpec.coerce(n_procs)
+        completed = run_scheduler(jobs, cluster, SJF(), backfill=self.backfill)
+        return self._fn(completed, cluster.n_procs)
 
-    def accepts(self, jobs: Sequence[Job], n_procs: int) -> bool:
+    def accepts(self, jobs: Sequence[Job], n_procs: "int | ClusterSpec") -> bool:
         if self.range is None:
             raise RuntimeError("call fit() before filtering")
         return self.range.accepts(self.sequence_value(jobs, n_procs))

@@ -51,6 +51,7 @@ from repro.nn import Module, ValueMLP, make_policy
 from repro.runtime import ShardedVecSchedGym
 from repro.runtime.seeding import stream_rng
 from repro.schedulers.rl_scheduler import RLSchedulerPolicy
+from repro.sim.cluster import ClusterSpec
 from repro.sim.env import SchedGym
 from repro.sim.metrics import metric_by_name
 from repro.sim.vec_env import VecSchedGym
@@ -138,24 +139,44 @@ class Trainer:
 
     def __init__(
         self,
-        trace: SWFTrace,
+        trace: SWFTrace | None = None,
         metric: str = "bsld",
         policy_preset: str = "kernel",
         env_config: EnvConfig | None = None,
         ppo_config: PPOConfig | None = None,
         train_config: TrainConfig | None = None,
         policy: Module | None = None,
+        cluster: ClusterSpec | None = None,
     ):
+        self.train_config = train_config or TrainConfig()
+        if self.train_config.scenario is not None:
+            # Scenario training: the scenario supplies whatever the caller
+            # did not pass explicitly — trace, cluster, and (for
+            # memory-constrained clusters) the per-resource feature config.
+            from repro.scenarios import get_scenario, resolve_scenario_config
+
+            if trace is None:
+                scenario, trace = resolve_scenario_config(
+                    self.train_config.scenario
+                )
+            else:
+                scenario = get_scenario(self.train_config.scenario.name)
+            cluster = cluster or scenario.cluster
+            env_config = scenario.env_config(env_config)
+        if trace is None:
+            raise ValueError(
+                "Trainer needs a trace (or a TrainConfig with a scenario)"
+            )
         self.trace = trace
         self.metric = metric
         self.policy_preset = policy_preset
         self.env_config = env_config or EnvConfig()
         self.ppo_config = ppo_config or PPOConfig()
-        self.train_config = train_config or TrainConfig()
+        self.cluster_spec = cluster or ClusterSpec(trace.max_procs)
 
         _, self._higher_is_better = metric_by_name(metric)
         self.env = SchedGym(
-            trace.max_procs, make_reward(metric), config=self.env_config
+            self.cluster_spec, make_reward(metric), config=self.env_config
         )
         m, f = self.env_config.max_obsv_size, self.env_config.job_features
         seed = self.train_config.seed
@@ -187,7 +208,7 @@ class Trainer:
         self._val_sequences = val_sampler.sample_many(3)
         self._val_env = VecSchedGym(
             len(self._val_sequences),
-            trace.max_procs,
+            self.cluster_spec,
             make_reward(metric),
             config=self.env_config,
         )
@@ -202,6 +223,7 @@ class Trainer:
                 n_samples=self.train_config.filter_probe_samples,
                 sequence_length=self.train_config.trajectory_length,
                 seed=seed + 3,
+                cluster=self.cluster_spec,
             )
 
     # ------------------------------------------------------------------
@@ -212,7 +234,7 @@ class Trainer:
             jobs = self.sampler.sample()
             if not filtered or self.filter is None:
                 return jobs, rejected
-            if self.filter.accepts(jobs, self.trace.max_procs):
+            if self.filter.accepts(jobs, self.cluster_spec):
                 return jobs, rejected
             rejected += 1
             if rejected >= self.MAX_FILTER_TRIES:
@@ -233,7 +255,7 @@ class Trainer:
             )
             self._vec_env = ShardedVecSchedGym(
                 n_vec,
-                self.trace.max_procs,
+                self.cluster_spec,
                 self.metric,
                 config=self.env_config,
                 runtime=self.train_config.runtime,
@@ -419,7 +441,7 @@ class Trainer:
             policy_preset=self.policy_preset,
             policy=self.policy,
             value=self.value,
-            n_procs=self.trace.max_procs,
+            n_procs=self.cluster_spec.n_procs,
             env_config=self.env_config,
         )
         best_reward = -np.inf

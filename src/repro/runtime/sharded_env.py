@@ -33,6 +33,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.config import EnvConfig, RuntimeConfig
+from repro.sim.cluster import ClusterSpec
 from repro.sim.env import SchedGym
 from repro.sim.vec_env import VecStepResult
 from repro.workloads.job import Job
@@ -92,7 +93,7 @@ class ShardedVecSchedGym:
     def __init__(
         self,
         n_envs: int,
-        n_procs: int,
+        n_procs: int | ClusterSpec,
         reward,
         config: EnvConfig | None = None,
         runtime: RuntimeConfig | None = None,

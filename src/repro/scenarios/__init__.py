@@ -1,0 +1,33 @@
+"""Scenario subsystem: declarative workload × cluster × protocol settings.
+
+``get_scenario("lublin-256")`` (and friends) resolve named scenarios;
+``api.evaluate`` / ``api.compare`` / ``api.scenario_matrix`` accept the
+names directly, and the CLI exposes the registry via
+``python -m repro scenarios``.
+"""
+
+from .core import (
+    DEFAULT_SCENARIO,
+    EvalProtocol,
+    Scenario,
+    WorkloadSpec,
+    attach_memory_demands,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    resolve_scenario_config,
+)
+from .builtin import BUILTIN_SCENARIOS
+
+__all__ = [
+    "DEFAULT_SCENARIO",
+    "EvalProtocol",
+    "Scenario",
+    "WorkloadSpec",
+    "attach_memory_demands",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "resolve_scenario_config",
+    "BUILTIN_SCENARIOS",
+]

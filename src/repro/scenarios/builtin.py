@@ -1,0 +1,106 @@
+"""The built-in scenario catalogue.
+
+Ten settings spanning the axes the paper's protocol varies — trace family,
+arrival pattern, cluster size — plus the memory-constrained variant the
+multi-resource cluster model enables.  ``lublin-256`` is the default and
+reproduces the historical hard-coded setup bit-for-bit (golden test).
+
+Every scenario is registered at import; :mod:`repro.scenarios` re-exports
+the registry accessors.  Adding a scenario is one
+:func:`~repro.scenarios.core.register_scenario` call — see the README's
+"Scenarios" section.
+"""
+
+from __future__ import annotations
+
+from repro.sim.cluster import ClusterSpec
+
+from .core import EvalProtocol, Scenario, WorkloadSpec, register_scenario
+
+__all__ = ["BUILTIN_SCENARIOS"]
+
+
+BUILTIN_SCENARIOS: tuple[Scenario, ...] = (
+    # -- the paper's synthetic baselines --------------------------------
+    Scenario(
+        name="lublin-256",
+        description="Lublin-1 on the paper's 256-proc cluster (default; "
+                    "bit-identical to the pre-scenario setup)",
+        workload=WorkloadSpec(trace="Lublin-1"),
+        cluster=ClusterSpec(n_procs=256),
+    ),
+    Scenario(
+        name="lublin-256-wide",
+        description="Lublin-2: shorter, wider jobs on the 256-proc cluster",
+        workload=WorkloadSpec(trace="Lublin-2"),
+        cluster=ClusterSpec(n_procs=256),
+    ),
+    # -- arrival-pattern variants ---------------------------------------
+    Scenario(
+        name="lublin-diurnal",
+        description="Lublin-1 with a near-full diurnal arrival swing "
+                    "(working-hours congestion, idle nights)",
+        workload=WorkloadSpec(
+            trace="Lublin-1", params={"daily_cycle_strength": 0.9}
+        ),
+        cluster=ClusterSpec(n_procs=256),
+    ),
+    Scenario(
+        name="bursty-sdsc",
+        description="SDSC-SP2 arrivals with tripled burst intensity and "
+                    "longer burst episodes",
+        workload=WorkloadSpec(
+            trace="SDSC-SP2",
+            params={"burst_factor": 12.0, "burst_fraction": 0.15,
+                    "burst_mean_length": 60},
+        ),
+        cluster=ClusterSpec(n_procs=128),
+    ),
+    # -- cluster-size variants ------------------------------------------
+    Scenario(
+        name="lublin-64",
+        description="Lublin-1 rescaled to a small 64-proc cluster",
+        workload=WorkloadSpec(trace="Lublin-1", params={"n_procs": 64}),
+        cluster=ClusterSpec(n_procs=64),
+    ),
+    Scenario(
+        name="anl-intrepid",
+        description="ANL-Intrepid calibration: 163,840 procs, very wide jobs",
+        workload=WorkloadSpec(trace="ANL-Intrepid"),
+        cluster=ClusterSpec(n_procs=163_840),
+    ),
+    # -- archive-trace replays (real .swf files slot in via swf_dir) -----
+    Scenario(
+        name="sdsc-sp2",
+        description="SDSC-SP2 replay (calibrated generator, or the real "
+                    ".swf when available)",
+        workload=WorkloadSpec(trace="SDSC-SP2"),
+        cluster=ClusterSpec(n_procs=128),
+    ),
+    Scenario(
+        name="hpc2n",
+        description="HPC2N replay: long jobs, one dominant user (u17)",
+        workload=WorkloadSpec(trace="HPC2N"),
+        cluster=ClusterSpec(n_procs=240),
+    ),
+    Scenario(
+        name="pik-iplex",
+        description="PIK-IPLEX replay: rare catastrophic congestion bursts",
+        workload=WorkloadSpec(trace="PIK-IPLEX"),
+        cluster=ClusterSpec(n_procs=2560),
+        protocol=EvalProtocol(backfill=True),
+    ),
+    # -- multi-resource variant -----------------------------------------
+    Scenario(
+        name="lublin-256-mem",
+        description="Lublin-1 with synthetic memory demands on a cluster "
+                    "whose memory (192 units) binds before its 256 procs",
+        workload=WorkloadSpec(
+            trace="Lublin-1", mem_mean_per_proc=1.0, mem_sigma=0.75
+        ),
+        cluster=ClusterSpec(n_procs=256, memory=192.0),
+    ),
+)
+
+for _s in BUILTIN_SCENARIOS:
+    register_scenario(_s)

@@ -2,6 +2,7 @@
 
 from .base import Scheduler
 from .heuristics import (
+    ALL_HEURISTICS,
     F1,
     FCFS,
     HEURISTICS,
@@ -9,6 +10,7 @@ from .heuristics import (
     SJF,
     UNICEP,
     WFP3,
+    FirstFit,
     SmallestFirst,
     make_scheduler,
 )
@@ -20,10 +22,12 @@ __all__ = [
     "SJF",
     "LJF",
     "SmallestFirst",
+    "FirstFit",
     "WFP3",
     "UNICEP",
     "F1",
     "HEURISTICS",
+    "ALL_HEURISTICS",
     "make_scheduler",
     "RLSchedulerPolicy",
 ]

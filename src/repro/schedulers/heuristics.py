@@ -20,6 +20,11 @@ points and keep the orderings the published formulas imply.
 
 ``LJF`` and ``SmallestFirst`` are included for ablations (§II-A3 mentions
 Smallest Job First as a classic utilization-oriented policy).
+``FirstFit`` is the resource-aware ablation: FCFS restricted to jobs whose
+full resource vector (processors *and*, on memory-constrained scenario
+clusters, memory) fits the free capacity right now — it exercises
+:meth:`repro.sim.cluster.Cluster.can_allocate` and therefore reacts to
+memory pressure the Table III formulas cannot see.
 """
 
 from __future__ import annotations
@@ -36,10 +41,12 @@ __all__ = [
     "SJF",
     "LJF",
     "SmallestFirst",
+    "FirstFit",
     "WFP3",
     "UNICEP",
     "F1",
     "HEURISTICS",
+    "ALL_HEURISTICS",
     "make_scheduler",
 ]
 
@@ -78,6 +85,28 @@ class SmallestFirst(Scheduler):
 
     def score(self, job: Job, now: float, cluster: Cluster) -> float:
         return job.requested_procs
+
+
+class FirstFit(Scheduler):
+    """FCFS over the jobs whose resource vector fits *right now*.
+
+    Jobs that cannot start immediately (procs or — on memory-constrained
+    clusters — memory) are deprioritised by a constant offset larger than
+    any submit time, so the engine only commits to a blocked job when
+    nothing runnable is waiting.  The resource check is the cluster's own
+    :meth:`~repro.sim.cluster.Cluster.can_allocate`, which keeps this
+    heuristic automatically consistent with whatever resources the
+    cluster models.
+    """
+
+    name = "FirstFit"
+
+    #: larger than any realistic submit timestamp (~3000 CE in seconds)
+    _BLOCKED_OFFSET = 2.0**40
+
+    def score(self, job: Job, now: float, cluster: Cluster) -> float:
+        blocked = 0.0 if cluster.can_allocate(job) else self._BLOCKED_OFFSET
+        return job.submit_time + blocked
 
 
 class WFP3(Scheduler):
@@ -124,12 +153,20 @@ HEURISTICS: dict[str, type[Scheduler]] = {
     "F1": F1,
 }
 
+#: Everything instantiable by name: Table III plus the ablation policies.
+ALL_HEURISTICS: dict[str, type[Scheduler]] = {
+    **HEURISTICS,
+    "LJF": LJF,
+    "Smallest": SmallestFirst,
+    "FirstFit": FirstFit,
+}
+
 
 def make_scheduler(name: str) -> Scheduler:
-    """Instantiate a heuristic scheduler by Table III name."""
+    """Instantiate a heuristic scheduler by name (Table III + ablations)."""
     try:
-        return HEURISTICS[name]()
+        return ALL_HEURISTICS[name]()
     except KeyError:
         raise KeyError(
-            f"unknown scheduler {name!r}; known: {sorted(HEURISTICS)}"
+            f"unknown scheduler {name!r}; known: {sorted(ALL_HEURISTICS)}"
         ) from None

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from pathlib import Path
 from typing import Sequence
 
@@ -63,15 +64,18 @@ class DeployFeatureCache:
     ``FeatureCache`` itself, so the maths — hence the bits — are
     identical) with doubling capacity, and self-heals: every lookup
     validates all feature-bearing attributes of the visible jobs (submit
-    time, processor and runtime requests, user hash) against the cached
-    rows, and any mismatch (job ids reused across traces) clears and
-    rebuilds from the current queue.  Lookups are therefore always
+    time, processor/runtime/memory requests, user hash) against the
+    cached rows, and any mismatch (job ids reused across traces) clears
+    and rebuilds from the current queue.  Lookups are therefore always
     correct; the cache only decides how much work they cost.
     """
 
-    def __init__(self, n_procs: int, config: EnvConfig):
+    def __init__(
+        self, n_procs: int, config: EnvConfig, total_mem: float = math.inf
+    ):
         self.n_procs = n_procs
         self.config = config
+        self.total_mem = total_mem
         self.clear()
 
     def clear(self) -> None:
@@ -83,6 +87,7 @@ class DeployFeatureCache:
         self.procs = np.zeros(0, dtype=np.float64)
         self.reqtime = np.zeros(0, dtype=np.float64)
         self.uhash = np.zeros(0, dtype=np.float64)
+        self.reqmem = np.zeros(0, dtype=np.float64)
 
     def _grow(self, extra: int) -> None:
         need = self.size + extra
@@ -94,13 +99,15 @@ class DeployFeatureCache:
         static = np.zeros((new_cap, f), dtype=np.float64)
         static[: self.size] = self.static[: self.size]
         self.static = static
-        for attr in ("submit", "procs", "reqtime", "uhash"):
+        for attr in ("submit", "procs", "reqtime", "uhash", "reqmem"):
             col = np.zeros(new_cap, dtype=np.float64)
             col[: self.size] = getattr(self, attr)[: self.size]
             setattr(self, attr, col)
 
     def _add(self, jobs: Sequence[Job]) -> None:
-        fresh = FeatureCache(jobs, self.n_procs, self.config)
+        fresh = FeatureCache(
+            jobs, self.n_procs, self.config, total_mem=self.total_mem
+        )
         self._grow(len(jobs))
         lo, hi = self.size, self.size + len(jobs)
         self.static[lo:hi] = fresh.static
@@ -108,6 +115,7 @@ class DeployFeatureCache:
         self.procs[lo:hi] = fresh.procs
         self.reqtime[lo:hi] = [j.requested_time for j in jobs]
         self.uhash[lo:hi] = fresh.user_hash
+        self.reqmem[lo:hi] = [j.requested_mem for j in jobs]
         for i, j in enumerate(jobs):
             self.index[j.job_id] = lo + i
         self.size = hi
@@ -121,6 +129,7 @@ class DeployFeatureCache:
             np.fromiter(
                 (stable_user_hash(j.user_id) for j in jobs), np.float64, count=n
             ),
+            np.fromiter((j.requested_mem for j in jobs), np.float64, count=n),
         )
 
     def rows(self, jobs: Sequence[Job]) -> np.ndarray:
@@ -137,12 +146,13 @@ class DeployFeatureCache:
         rows = np.fromiter(
             (index[j.job_id] for j in jobs), dtype=np.intp, count=len(jobs)
         )
-        submit, procs, reqtime, uhash = self._identity(jobs)
+        submit, procs, reqtime, uhash, reqmem = self._identity(jobs)
         if (
             np.array_equal(self.submit[rows], submit)
             and np.array_equal(self.procs[rows], procs)
             and np.array_equal(self.reqtime[rows], reqtime)
             and np.array_equal(self.uhash[rows], uhash)
+            and np.array_equal(self.reqmem[rows], reqmem)
         ):
             return rows
         # Stale identity (a different trace reused these job ids): rebuild
@@ -205,8 +215,14 @@ class RLSchedulerPolicy(Scheduler):
             raise ValueError("cannot select from an empty queue")
         visible = sorted(pending, key=lambda j: (j.submit_time, j.job_id))
         visible = visible[: self.env_config.max_obsv_size]
-        if self._cache is None:
-            self._cache = DeployFeatureCache(self.n_procs, self.env_config)
+        total_mem = getattr(cluster, "total_mem", math.inf)
+        if self._cache is None or self._cache.total_mem != total_mem:
+            # total_mem comparison: inf != inf is False, so unconstrained
+            # clusters never trigger a rebuild; a retarget to a different
+            # memory capacity rescales the static demand column.
+            self._cache = DeployFeatureCache(
+                self.n_procs, self.env_config, total_mem=total_mem
+            )
         rows = self._cache.rows(visible)
 
         score_rows = getattr(self.policy, "score_rows", None)
@@ -221,6 +237,8 @@ class RLSchedulerPolicy(Scheduler):
         feats = fill_dynamic_features(
             cache.static[rows], cache.submit[rows], cache.procs[rows],
             now, cluster.free_procs, self.n_procs, self.env_config,
+            free_mem=getattr(cluster, "free_mem", math.inf),
+            total_mem=total_mem,
         )
         with no_grad():
             scores = score_rows(feats.astype(np.float32))
@@ -239,6 +257,8 @@ class RLSchedulerPolicy(Scheduler):
             cache=self._cache,
             assume_sorted=True,
             rows=rows,
+            free_mem=getattr(cluster, "free_mem", math.inf),
+            total_mem=getattr(cluster, "total_mem", math.inf),
         )
         with no_grad():
             logits = self.policy(obs[None], mask[None])

@@ -1,11 +1,12 @@
 """Cluster simulation substrate: resource model, event engine, EASY
 backfilling, scheduling metrics, and the SchedGym RL environment."""
 
-from .cluster import Cluster
+from .cluster import Cluster, ClusterSpec, mem_demand
 from .events import Event, EventKind, EventQueue
 from .backfill import (
     backfill_candidates,
     conservative_backfill_candidates,
+    shadow_state,
     shadow_time_and_extra,
 )
 from .simulator import SchedulingEngine, run_scheduler
@@ -39,11 +40,14 @@ from .metrics import (
 
 __all__ = [
     "Cluster",
+    "ClusterSpec",
+    "mem_demand",
     "Event",
     "EventKind",
     "EventQueue",
     "backfill_candidates",
     "conservative_backfill_candidates",
+    "shadow_state",
     "shadow_time_and_extra",
     "SchedulingEngine",
     "run_scheduler",

@@ -1,4 +1,4 @@
-"""EASY backfilling (paper §II-A4, §IV-D).
+"""EASY backfilling (paper §II-A4, §IV-D), resource-vector aware.
 
 When the committed (head) job cannot start, EASY backfilling computes the
 head job's *shadow time* — the earliest instant its request will fit, based
@@ -6,28 +6,91 @@ on the **requested** (not actual) runtimes of running jobs — and starts any
 waiting job that either
 
 * finishes (by its own requested runtime) before the shadow time, or
-* uses no more than the processors that will still be spare at the shadow
-  time after the head job is placed ("extra" processors).
+* uses no more than the resources that will still be spare at the shadow
+  time after the head job is placed ("extra" processors/memory).
 
 Backfilled jobs therefore never delay the planned start of the head job.
 Planning uses requested runtimes because actual runtimes are invisible to
 schedulers; since users over-estimate, plans are conservative and the head
 job can only start earlier than planned, never later.
+
+Multi-resource planning
+-----------------------
+With a memory-constrained :class:`~repro.sim.cluster.Cluster`, "fits"
+means *both* components of the resource vector fit: the shadow time is
+the earliest planned release instant at which the head job's processors
+**and** memory are available, and the extra budget is tracked per
+resource.  On an unconstrained cluster every memory comparison is against
+``inf``, so candidate selection is decision-for-decision identical to the
+original processor-only algorithm.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.workloads.job import Job
 
-from .cluster import Cluster
+from .cluster import Cluster, mem_demand
 
 __all__ = [
+    "shadow_state",
     "shadow_time_and_extra",
     "backfill_candidates",
     "conservative_backfill_candidates",
 ]
+
+
+def shadow_state(
+    head: Job,
+    running: Sequence[Job],
+    cluster: Cluster,
+    now: float,
+) -> tuple[float, int, float]:
+    """Earliest planned start for ``head`` and spare resources then.
+
+    ``running`` jobs must have ``start_time`` set.  Returns ``(shadow,
+    extra_procs, extra_mem)`` where the extras are the head-room left at
+    ``shadow`` after reserving the head job (``extra_mem`` is ``inf`` on
+    an unconstrained cluster).
+    """
+    head_mem = mem_demand(head)
+    if cluster.can_allocate(head):
+        return (
+            now,
+            cluster.free_procs - head.requested_procs,
+            max(cluster.free_mem - head_mem, 0.0),
+        )
+
+    # Planned release order by *requested* end time.
+    releases = sorted(
+        (max(j.start_time + j.requested_time, now), j.requested_procs, mem_demand(j))
+        for j in running
+    )
+    free = cluster.free_procs
+    free_mem = cluster.free_mem
+    total_mem = cluster.total_mem
+    # Float demands reassemble the free pool in release order, which can
+    # round a full-capacity plan an ulp below the capacity; cap the plan
+    # at the physical total and give the fit test a relative tolerance so
+    # a head job demanding exactly the cluster memory still plans a start.
+    mem_tol = 0.0 if math.isinf(total_mem) else 1e-9 * max(1.0, total_mem)
+    for planned_end, procs, mem in releases:
+        free += procs
+        free_mem = min(free_mem + mem, total_mem)
+        if free >= head.requested_procs and free_mem + mem_tol >= head_mem:
+            return (
+                planned_end,
+                free - head.requested_procs,
+                max(free_mem - head_mem, 0.0),
+            )
+    raise RuntimeError(
+        f"head job {head.job_id} ({head.requested_procs} procs, "
+        f"{head_mem:g} mem) can never fit: running jobs release only "
+        f"{free} procs / {free_mem:g} mem on a {cluster.n_procs}-proc "
+        f"({total_mem:g}-mem) cluster"
+    )
 
 
 def shadow_time_and_extra(
@@ -36,29 +99,9 @@ def shadow_time_and_extra(
     cluster: Cluster,
     now: float,
 ) -> tuple[float, int]:
-    """Earliest planned start for ``head`` and spare procs at that instant.
-
-    ``running`` jobs must have ``start_time`` set.  Returns ``(shadow,
-    extra)`` where ``extra`` is the processor head-room left at ``shadow``
-    after reserving the head job.
-    """
-    if cluster.can_allocate(head):
-        return now, cluster.free_procs - head.requested_procs
-
-    # Planned release order by *requested* end time.
-    releases = sorted(
-        (max(j.start_time + j.requested_time, now), j.requested_procs)
-        for j in running
-    )
-    free = cluster.free_procs
-    for planned_end, procs in releases:
-        free += procs
-        if free >= head.requested_procs:
-            return planned_end, free - head.requested_procs
-    raise RuntimeError(
-        f"head job {head.job_id} ({head.requested_procs} procs) can never fit: "
-        f"running jobs release only {free} procs on a {cluster.n_procs}-proc cluster"
-    )
+    """Processor-only view of :func:`shadow_state` (the historical API)."""
+    shadow, extra, _ = shadow_state(head, running, cluster, now)
+    return shadow, extra
 
 
 def backfill_candidates(
@@ -74,22 +117,27 @@ def backfill_candidates(
     ("extra") budget is consumed as candidates that overrun the shadow time
     are accepted, so later candidates see the reduced head-room.
     """
-    shadow, extra = shadow_time_and_extra(head, running, cluster, now)
+    shadow, extra, extra_mem = shadow_state(head, running, cluster, now)
     free = cluster.free_procs
+    free_mem = cluster.free_mem
     chosen: list[Job] = []
     for job in sorted(pending, key=lambda j: (j.submit_time, j.job_id)):
         if job.job_id == head.job_id:
             continue
-        if job.requested_procs > free:
+        need_mem = mem_demand(job)
+        if job.requested_procs > free or need_mem > free_mem:
             continue
         ends_before_shadow = now + job.requested_time <= shadow
         if ends_before_shadow:
             chosen.append(job)
             free -= job.requested_procs
-        elif job.requested_procs <= extra:
+            free_mem -= need_mem
+        elif job.requested_procs <= extra and need_mem <= extra_mem:
             chosen.append(job)
             free -= job.requested_procs
+            free_mem -= need_mem
             extra -= job.requested_procs
+            extra_mem -= need_mem
     return chosen
 
 
@@ -103,21 +151,24 @@ def conservative_backfill_candidates(
     """Conservative backfilling: candidates may start only if they finish
     (by requested runtime) before the head job's shadow time.
 
-    Unlike EASY, the "extra processors" allowance is not used, so no
+    Unlike EASY, the "extra resources" allowance is not used, so no
     backfilled job may overrun the shadow time at all — a stricter
     guarantee that protects *every* queued job's implied reservation, at
     the cost of fewer backfill opportunities.  Included as the classic
     ablation point against EASY (Mu'alem & Feitelson, TPDS 2001).
     """
-    shadow, _ = shadow_time_and_extra(head, running, cluster, now)
+    shadow, _, _ = shadow_state(head, running, cluster, now)
     free = cluster.free_procs
+    free_mem = cluster.free_mem
     chosen: list[Job] = []
     for job in sorted(pending, key=lambda j: (j.submit_time, j.job_id)):
         if job.job_id == head.job_id:
             continue
-        if job.requested_procs > free:
+        need_mem = mem_demand(job)
+        if job.requested_procs > free or need_mem > free_mem:
             continue
         if now + job.requested_time <= shadow:
             chosen.append(job)
             free -= job.requested_procs
+            free_mem -= need_mem
     return chosen

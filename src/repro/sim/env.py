@@ -19,6 +19,18 @@ col   feature (all in [0, 1])
 6     validity flag: 1 = real job, 0 = zero-padded slot
 ====  =======================================================
 
+With ``EnvConfig.memory_features`` on (and ``job_features >= 9``) two
+per-resource columns are appended for memory-constrained scenarios:
+
+====  =======================================================
+col   feature (all in [0, 1])
+====  =======================================================
+7     job memory demand / cluster memory capacity (static)
+8     free memory fraction (system state, same each row)
+====  =======================================================
+
+The default 7-column layout is byte-identical with the flag off.
+
 Pending jobs are ordered FCFS and cut off at ``MAX_OBSV_SIZE`` (paper:
 "we simply leverage FCFS ... and select the top MAX_OBSV_SIZE jobs");
 missing slots are zero rows.  ``action_mask`` marks the real slots.
@@ -51,6 +63,7 @@ import numpy as np
 from repro.config import EnvConfig
 from repro.workloads.job import Job
 
+from .cluster import ClusterSpec, mem_demand
 from .simulator import SchedulingEngine
 
 __all__ = [
@@ -72,6 +85,8 @@ def fill_dynamic_features(
     free_procs: int,
     n_procs: int,
     config: EnvConfig,
+    free_mem: float = math.inf,
+    total_mem: float = math.inf,
 ) -> np.ndarray:
     """Overwrite the time/state-dependent columns (0, 3, 4) of ``feats``.
 
@@ -80,11 +95,19 @@ def fill_dynamic_features(
     deployment hot path in
     :class:`repro.schedulers.rl_scheduler.RLSchedulerPolicy`, so the two
     can never drift apart.  Mutates and returns ``feats``.
+
+    With ``config.memory_features`` on, the free-memory fraction column
+    (8) is also dynamic; an unconstrained cluster reports 1.0 (all memory
+    free).
     """
     wait = now - submit
     feats[:, 0] = wait / (wait + config.wait_scale)
     feats[:, 3] = free_procs / n_procs
     feats[:, 4] = procs <= free_procs
+    if config.memory_features:
+        feats[:, config.MEM_FREE_COL] = (
+            1.0 if math.isinf(total_mem) else free_mem / total_mem
+        )
     return feats
 
 
@@ -117,10 +140,16 @@ class FeatureCache:
 
     __slots__ = (
         "index", "submit", "log_runtime", "procs", "procs_frac", "user_hash",
-        "static",
+        "mem", "static",
     )
 
-    def __init__(self, jobs: Sequence[Job], n_procs: int, config: EnvConfig):
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        n_procs: int,
+        config: EnvConfig,
+        total_mem: float = math.inf,
+    ):
         log_cap = math.log(config.runtime_scale)
         self.index = {j.job_id: i for i, j in enumerate(jobs)}
         self.submit = np.array([j.submit_time for j in jobs], dtype=np.float64)
@@ -136,14 +165,22 @@ class FeatureCache:
         self.user_hash = np.array(
             [stable_user_hash(j.user_id) for j in jobs], dtype=np.float64
         )
-        # Full feature rows with the static columns (1, 2, 5, 6) filled in;
-        # per-step assembly gathers whole rows and overwrites the dynamic
-        # columns (0, 3, 4) — one fancy-index instead of one per column.
+        self.mem = np.array([mem_demand(j) for j in jobs], dtype=np.float64)
+        # Full feature rows with the static columns (1, 2, 5, 6 and, with
+        # memory features, 7) filled in; per-step assembly gathers whole
+        # rows and overwrites the dynamic columns (0, 3, 4, 8) — one
+        # fancy-index instead of one per column.
         self.static = np.zeros((len(jobs), config.job_features), dtype=np.float64)
         self.static[:, 1] = self.log_runtime
         self.static[:, 2] = self.procs_frac
         self.static[:, 5] = self.user_hash
         self.static[:, 6] = 1.0
+        if config.memory_features:
+            # demand / capacity, saturating at 1; x/inf == 0 covers the
+            # unconstrained-cluster case with no branch
+            self.static[:, config.MEM_DEMAND_COL] = np.minimum(
+                self.mem / total_mem, 1.0
+            )
 
     def rows(self, jobs: Sequence[Job]) -> np.ndarray:
         """Cache row indices for ``jobs`` (all must be cached)."""
@@ -162,6 +199,8 @@ def build_observation(
     cache: FeatureCache | None = None,
     assume_sorted: bool = False,
     rows: np.ndarray | None = None,
+    free_mem: float = math.inf,
+    total_mem: float = math.inf,
 ) -> tuple[np.ndarray, np.ndarray, list[Job]]:
     """Fixed-size observation of a waiting queue.
 
@@ -194,6 +233,7 @@ def build_observation(
             fill_dynamic_features(
                 feats, cache.submit[rows], cache.procs[rows],
                 now, free_procs, n_procs, config,
+                free_mem=free_mem, total_mem=total_mem,
             )
             obs[:k] = feats
         else:
@@ -220,6 +260,12 @@ def build_observation(
             obs[:k, 4] = procs <= free_procs
             obs[:k, 5] = user_hash
             obs[:k, 6] = 1.0
+            if config.memory_features:
+                mem = np.array([mem_demand(j) for j in visible], dtype=np.float64)
+                obs[:k, config.MEM_DEMAND_COL] = np.minimum(mem / total_mem, 1.0)
+                obs[:k, config.MEM_FREE_COL] = (
+                    1.0 if math.isinf(total_mem) else free_mem / total_mem
+                )
         mask[:k] = True
     return obs, mask, visible
 
@@ -230,6 +276,8 @@ def build_observation_loop(
     free_procs: int,
     n_procs: int,
     config: EnvConfig,
+    free_mem: float = math.inf,
+    total_mem: float = math.inf,
 ) -> tuple[np.ndarray, np.ndarray, list[Job]]:
     """Reference per-job-loop observation builder.
 
@@ -254,6 +302,11 @@ def build_observation_loop(
         obs[i, 4] = 1.0 if job.requested_procs <= free_procs else 0.0
         obs[i, 5] = stable_user_hash(job.user_id)
         obs[i, 6] = 1.0
+        if config.memory_features:
+            obs[i, config.MEM_DEMAND_COL] = min(mem_demand(job) / total_mem, 1.0)
+            obs[i, config.MEM_FREE_COL] = (
+                1.0 if math.isinf(total_mem) else free_mem / total_mem
+            )
 
     mask = np.zeros(config.max_obsv_size, dtype=bool)
     mask[: len(visible)] = True
@@ -277,7 +330,9 @@ class SchedGym:
     Parameters
     ----------
     n_procs:
-        cluster size.
+        cluster size — a bare processor count, or a
+        :class:`~repro.sim.cluster.ClusterSpec` for multi-resource
+        (memory-constrained) clusters.
     reward_fn:
         ``f(completed_jobs, n_procs) -> float`` evaluated once at episode
         end; should already carry the sign convention (higher = better).
@@ -288,13 +343,12 @@ class SchedGym:
 
     def __init__(
         self,
-        n_procs: int,
+        n_procs: int | ClusterSpec,
         reward_fn: Callable[[Sequence[Job], int], float],
         config: EnvConfig | None = None,
     ):
-        if n_procs <= 0:
-            raise ValueError("n_procs must be positive")
-        self.n_procs = n_procs
+        self.cluster_spec = ClusterSpec.coerce(n_procs)
+        self.n_procs = self.cluster_spec.n_procs
         self.reward_fn = reward_fn
         self.config = config or EnvConfig()
         self._engine: SchedulingEngine | None = None
@@ -320,9 +374,12 @@ class SchedGym:
     def reset(self, jobs: Sequence[Job]) -> tuple[np.ndarray, np.ndarray]:
         """Start an episode over ``jobs``; returns (observation, action_mask)."""
         self._engine = SchedulingEngine(
-            jobs, self.n_procs, backfill=self.config.backfill
+            jobs, self.cluster_spec, backfill=self.config.backfill
         )
-        self._cache = FeatureCache(self._engine.jobs, self.n_procs, self.config)
+        self._cache = FeatureCache(
+            self._engine.jobs, self.n_procs, self.config,
+            total_mem=self.cluster_spec.total_mem,
+        )
         has_decision = self._engine.advance_until_decision()
         assert has_decision, "a non-empty job sequence must yield a decision"
         return self._observe()
@@ -370,6 +427,8 @@ class SchedGym:
             cache=self._cache,
             assume_sorted=True,
             rows=np.asarray(engine.pending_rows[:m], dtype=np.intp),
+            free_mem=engine.cluster.free_mem,
+            total_mem=engine.cluster.total_mem,
         )
         self._visible = visible
         return obs, mask

@@ -26,7 +26,7 @@ from typing import Sequence
 from repro.workloads.job import Job
 
 from .backfill import backfill_candidates, conservative_backfill_candidates
-from .cluster import Cluster
+from .cluster import Cluster, ClusterSpec, mem_demand
 from .events import EventKind, EventQueue
 
 __all__ = ["SchedulingEngine", "run_scheduler"]
@@ -62,7 +62,7 @@ class SchedulingEngine:
     def __init__(
         self,
         jobs: Sequence[Job],
-        n_procs: int,
+        n_procs: int | ClusterSpec,
         backfill: bool | str = False,
     ):
         if not jobs:
@@ -71,14 +71,20 @@ class SchedulingEngine:
             raise ValueError(
                 f"backfill must be one of {self.BACKFILL_MODES}, got {backfill!r}"
             )
+        spec = ClusterSpec.coerce(n_procs)
         self.jobs = [j.copy() for j in sorted(jobs, key=lambda x: (x.submit_time, x.job_id))]
         for j in self.jobs:
-            if j.requested_procs > n_procs:
+            if j.requested_procs > spec.n_procs:
                 raise ValueError(
                     f"job {j.job_id} requests {j.requested_procs} procs but the "
-                    f"cluster has {n_procs}"
+                    f"cluster has {spec.n_procs}"
                 )
-        self.cluster = Cluster(n_procs)
+            if mem_demand(j) > spec.total_mem:
+                raise ValueError(
+                    f"job {j.job_id} needs {mem_demand(j):g} memory units but "
+                    f"the cluster has {spec.total_mem:g}"
+                )
+        self.cluster = spec.build()
         self.backfill = backfill
         self.now = 0.0
         #: waiting jobs, always sorted by (submit_time, job_id) — FCFS order
@@ -201,7 +207,7 @@ class SchedulingEngine:
 
 def run_scheduler(
     jobs: Sequence[Job],
-    n_procs: int,
+    n_procs: int | ClusterSpec,
     scheduler,
     backfill: bool | str = False,
 ) -> list[Job]:

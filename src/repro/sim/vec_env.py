@@ -38,6 +38,7 @@ import numpy as np
 from repro.config import EnvConfig
 from repro.workloads.job import Job
 
+from .cluster import ClusterSpec
 from .env import SchedGym
 
 __all__ = ["VecSchedGym", "VecStepResult"]
@@ -66,7 +67,7 @@ class VecSchedGym:
     def __init__(
         self,
         n_envs: int,
-        n_procs: int,
+        n_procs: int | ClusterSpec,
         reward_fn: Callable[[Sequence[Job], int], float],
         config: EnvConfig | None = None,
     ):

@@ -8,11 +8,20 @@ schedulers the *same* random sequences are reused for fair comparison, which
 
 Sampled windows are re-based so the first job submits at t=0 — the
 simulator always starts from an idle cluster, per the paper's SchedGym.
+
+Seeding follows the repo-wide convention of
+:func:`repro.runtime.seeding.stream_rng`: the sampler's stream is derived
+from an integer *key path*, so callers may pass either a bare seed
+(``SequenceSampler(trace, 256, seed=42)`` — bit-identical to the historic
+``default_rng(42)`` stream) or a composed path
+(``seed=(scenario_seed, worker, shard)``) that can never collide with
+sibling streams.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Sequence
 
 import numpy as np
 
@@ -55,13 +64,27 @@ def sample_sequence(
 
 
 class SequenceSampler:
-    """Seeded sampler producing reproducible job windows from a trace."""
+    """Seeded sampler producing reproducible job windows from a trace.
 
-    def __init__(self, trace: SWFTrace, length: int, seed: int = 0):
+    ``seed`` is an integer or a key path (sequence of integers) in the
+    :func:`repro.runtime.seeding.stream_rng` convention; a bare integer
+    seed yields the same stream as the historical ``default_rng(seed)``.
+    """
+
+    def __init__(self, trace: SWFTrace, length: int, seed: "int | Sequence[int]" = 0):
         self.trace = trace
         self.length = length
         self.seed = seed
-        self._rng = np.random.default_rng(seed)
+        self._rng = self._make_rng()
+
+    def _make_rng(self) -> np.random.Generator:
+        # Imported lazily: the workloads package is a dependency of the
+        # simulation substrate the runtime package builds on, so a
+        # module-level import would be circular.
+        from repro.runtime.seeding import stream_rng
+
+        keys = self.seed if isinstance(self.seed, (tuple, list)) else (self.seed,)
+        return stream_rng(*keys)
 
     def sample(self, start: int | None = None) -> list[Job]:
         return sample_sequence(self.trace, self.length, self._rng, start=start)
@@ -72,4 +95,4 @@ class SequenceSampler:
 
     def reset(self) -> None:
         """Rewind the RNG so the exact same windows are produced again."""
-        self._rng = np.random.default_rng(self.seed)
+        self._rng = self._make_rng()

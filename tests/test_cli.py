@@ -106,3 +106,72 @@ class TestCommands:
                      "--swf-dir", str(tmp_path)])
         assert code == 0
         assert "Custom" in capsys.readouterr().out
+
+
+class TestScenarioCommands:
+    def test_scenarios_lists_registry(self, capsys):
+        from repro.scenarios import available_scenarios
+
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in available_scenarios():
+            assert name in out
+        assert "lublin-256-mem" in out
+
+    def test_evaluate_scenario(self, capsys):
+        code = main(["evaluate", "--scenario", "lublin-64", "--jobs", "400",
+                     "--sequences", "1", "--length", "24"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario lublin-64" in out
+        assert "FCFS" in out
+
+    def test_evaluate_needs_exactly_one_of_name_and_scenario(self, capsys):
+        assert main(["evaluate"]) == 2
+        assert main(["evaluate", "Lublin-1", "--scenario", "lublin-64"]) == 2
+
+    def test_evaluate_unknown_scenario_fails_loudly(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            main(["evaluate", "--scenario", "nope", "--jobs", "300"])
+
+    def test_compare_strips_whitespace_in_scenario_list(self, capsys):
+        code = main([
+            "compare", "--scenarios", "lublin-256, lublin-64",
+            "--schedulers", "FCFS", "--jobs", "400",
+            "--sequences", "1", "--length", "16",
+        ])
+        assert code == 0
+        assert "lublin-64" in capsys.readouterr().out
+
+    def test_compare_matrix_with_workers_and_artifact(self, tmp_path, capsys):
+        out_file = tmp_path / "matrix.json"
+        code = main([
+            "compare", "--scenarios", "lublin-256,lublin-64",
+            "--schedulers", "FCFS,SJF", "--jobs", "400",
+            "--sequences", "2", "--length", "24", "--workers", "2",
+            "-o", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lublin-256" in out and "lublin-64" in out
+
+        import json
+
+        doc = json.loads(out_file.read_text())
+        assert doc["config"]["schedulers"] == ["FCFS", "SJF"]
+        assert set(doc["results"]) == {"lublin-256", "lublin-64"}
+        for row in doc["results"].values():
+            for cell in row.values():
+                assert cell["n"] == 2
+                assert len(cell["values"]) == 2
+
+    def test_train_scenario(self, tmp_path, capsys):
+        model = tmp_path / "m.npz"
+        code = main([
+            "train", "--scenario", "lublin-64", "--jobs", "400",
+            "--epochs", "1", "--trajectories", "2", "--length", "12",
+            "--obsv", "8", "-o", str(model),
+        ])
+        assert code == 0
+        assert model.exists()
+        assert "scenario lublin-64" in capsys.readouterr().out

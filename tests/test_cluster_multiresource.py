@@ -1,0 +1,198 @@
+"""Multi-resource cluster model: memory accounting, ClusterSpec, and the
+golden equivalence of the unconstrained case with the pre-refactor
+processor-only Cluster (transition for transition)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import Cluster, ClusterSpec, mem_demand
+from repro.workloads import Job
+
+
+def job(jid=1, procs=4, mem=-1.0):
+    return Job(job_id=jid, submit_time=0.0, run_time=10.0,
+               requested_procs=procs, requested_mem=mem)
+
+
+# ----------------------------------------------------------------------
+# The seed repo's processor-only Cluster, verbatim: the executable
+# specification the unconstrained multi-resource model must match.
+# ----------------------------------------------------------------------
+class LegacyCluster:
+    def __init__(self, n_procs):
+        if n_procs <= 0:
+            raise ValueError("positive processor count required")
+        self.n_procs = n_procs
+        self.free_procs = n_procs
+        self._allocations = {}
+
+    def can_allocate(self, j):
+        return j.requested_procs <= self.free_procs
+
+    def fits(self, n_procs):
+        return n_procs <= self.free_procs
+
+    def allocate(self, j):
+        if j.requested_procs > self.n_procs:
+            raise ValueError("too large")
+        if j.job_id in self._allocations:
+            raise RuntimeError("already allocated")
+        if not self.can_allocate(j):
+            raise RuntimeError("does not fit")
+        self.free_procs -= j.requested_procs
+        self._allocations[j.job_id] = j.requested_procs
+
+    def release(self, j):
+        held = self._allocations.pop(j.job_id, None)
+        if held is None:
+            raise RuntimeError("no allocation")
+        self.free_procs += held
+
+
+class TestLegacyEquivalence:
+    def test_random_transitions_match_legacy(self):
+        """Unconstrained Cluster == processor-only Cluster on a random
+        alloc/release walk: same admission decisions, same free counts,
+        same errors."""
+        rng = np.random.default_rng(7)
+        new = Cluster(64)
+        old = LegacyCluster(64)
+        jobs = {i: job(i, int(rng.integers(1, 33))) for i in range(1, 200)}
+        held: list[int] = []
+        for step in range(2000):
+            if held and rng.random() < 0.45:
+                jid = held.pop(int(rng.integers(0, len(held))))
+                new.release(jobs[jid])
+                old.release(jobs[jid])
+            else:
+                jid = int(rng.integers(1, 200))
+                j = jobs[jid]
+                assert new.can_allocate(j) == old.can_allocate(j)
+                new_err = old_err = None
+                try:
+                    new.allocate(j)
+                except (RuntimeError, ValueError) as e:
+                    new_err = type(e)
+                try:
+                    old.allocate(j)
+                except (RuntimeError, ValueError) as e:
+                    old_err = type(e)
+                assert new_err == old_err
+                if new_err is None:
+                    held.append(jid)
+            assert new.free_procs == old.free_procs
+            assert set(new._allocations) == set(old._allocations)
+
+    def test_unconstrained_memory_is_inf(self):
+        c = Cluster(8)
+        assert math.isinf(c.total_mem)
+        assert math.isinf(c.free_mem)
+        assert c.mem_utilization == 0.0
+        assert c.used_mem == 0.0
+
+
+class TestMemDemand:
+    def test_sentinel_means_zero(self):
+        assert mem_demand(job(mem=-1.0)) == 0.0
+        assert mem_demand(job(mem=0.0)) == 0.0
+
+    def test_per_proc_times_procs(self):
+        assert mem_demand(job(procs=4, mem=2.5)) == 10.0
+
+
+class TestMemoryAccounting:
+    def test_allocate_consumes_both_resources(self):
+        c = Cluster(8, memory=10.0)
+        j = job(1, procs=4, mem=2.0)  # demand 8.0
+        c.allocate(j)
+        assert c.free_procs == 4
+        assert c.free_mem == pytest.approx(2.0)
+        assert c.used_mem == pytest.approx(8.0)
+        assert c.mem_utilization == pytest.approx(0.8)
+        c.release(j)
+        assert c.free_mem == 10.0
+
+    def test_fits_is_the_single_vector_check(self):
+        c = Cluster(8, memory=10.0)
+        assert c.fits(8)                      # procs-only callers unchanged
+        assert c.fits(4, 10.0)
+        assert not c.fits(9, 0.0)             # procs bind
+        assert not c.fits(1, 10.5)            # memory binds
+        assert c.can_allocate(job(1, procs=4, mem=2.5))
+        assert not c.can_allocate(job(1, procs=4, mem=2.6))
+
+    def test_memory_blocks_even_when_procs_fit(self):
+        c = Cluster(8, memory=10.0)
+        c.allocate(job(1, procs=2, mem=4.0))  # 8 mem held
+        j2 = job(2, procs=2, mem=2.0)         # fits procs, needs 4 mem > 2 free
+        assert not c.can_allocate(j2)
+        with pytest.raises(RuntimeError, match="free"):
+            c.allocate(j2)
+
+    def test_job_larger_than_total_memory_rejected(self):
+        c = Cluster(8, memory=10.0)
+        with pytest.raises(ValueError, match="memory units"):
+            c.allocate(job(1, procs=4, mem=3.0))  # 12 > 10 total
+
+    def test_reset_restores_memory(self):
+        c = Cluster(8, memory=10.0)
+        c.allocate(job(1, procs=2, mem=1.0))
+        c.reset()
+        assert c.free_mem == 10.0
+        assert c.n_running == 0
+
+    def test_float_release_order_does_not_trip_conservation(self):
+        """Out-of-order releases reassemble free_mem in a different float
+        rounding order; the invariant check must tolerate ulp drift."""
+        rng = np.random.default_rng(3)
+        c = Cluster(64, memory=100.0)
+        jobs = [job(i, 1, mem=float(rng.uniform(0.01, 1.5))) for i in range(1, 60)]
+        held = []
+        for step in range(4000):
+            if held and (rng.random() < 0.5 or len(held) == len(jobs)):
+                c.release(held.pop(int(rng.integers(0, len(held)))))
+            else:
+                free = [j for j in jobs if j.job_id not in c._allocations]
+                j = free[int(rng.integers(0, len(free)))]
+                if c.can_allocate(j):
+                    c.allocate(j)
+                    held.append(j)
+        while held:
+            c.release(held.pop())
+        assert c.free_mem == 100.0
+
+
+class TestClusterSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(0)
+        with pytest.raises(ValueError):
+            ClusterSpec(8, memory=0.0)
+        with pytest.raises(ValueError):
+            ClusterSpec(8, memory=-1.0)
+
+    def test_coerce(self):
+        assert ClusterSpec.coerce(8) == ClusterSpec(8)
+        spec = ClusterSpec(8, memory=2.0)
+        assert ClusterSpec.coerce(spec) is spec
+        with pytest.raises(TypeError):
+            ClusterSpec.coerce("8")
+        with pytest.raises(TypeError):
+            ClusterSpec.coerce(True)
+
+    def test_total_mem(self):
+        assert math.isinf(ClusterSpec(8).total_mem)
+        assert ClusterSpec(8, memory=3.0).total_mem == 3.0
+
+    def test_build_and_spec_roundtrip(self):
+        spec = ClusterSpec(16, memory=32.0)
+        c = spec.build()
+        assert c.n_procs == 16 and c.total_mem == 32.0
+        assert c.spec == spec
+        assert Cluster(16).spec == ClusterSpec(16)
+
+    def test_dict_roundtrip(self):
+        for spec in (ClusterSpec(8), ClusterSpec(8, memory=4.5)):
+            assert ClusterSpec.from_dict(spec.to_dict()) == spec

@@ -22,14 +22,24 @@ Quickstart::
     )
 """
 
-from . import api, config, nn, rl, runtime, scenarios, schedulers, sim, workloads
-from .api import EvalResult, compare, evaluate, scenario_matrix, train
+from . import api, config, nn, rl, runtime, scenarios, schedulers, sim, study, workloads
+from .api import (
+    EvalResult,
+    compare,
+    evaluate,
+    generalization_matrix,
+    scenario_matrix,
+    train,
+    train_matrix,
+)
 from .config import (
     EnvConfig,
     EvalConfig,
+    FeatureLayoutError,
     PPOConfig,
     RuntimeConfig,
     ScenarioConfig,
+    StudyConfig,
     TrainConfig,
 )
 from .rl import Trainer, TrainingResult
@@ -49,11 +59,14 @@ __all__ = [
     "scenarios",
     "schedulers",
     "sim",
+    "study",
     "workloads",
     "train",
     "evaluate",
     "compare",
     "scenario_matrix",
+    "train_matrix",
+    "generalization_matrix",
     "EvalResult",
     "EnvConfig",
     "PPOConfig",
@@ -61,6 +74,8 @@ __all__ = [
     "EvalConfig",
     "RuntimeConfig",
     "ScenarioConfig",
+    "StudyConfig",
+    "FeatureLayoutError",
     "Trainer",
     "TrainingResult",
     "RLSchedulerPolicy",

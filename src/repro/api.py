@@ -9,7 +9,11 @@
   random job sequences to make fair comparisons") — one Table V/VI/X/XI
   cell per scheduler;
 * :func:`scenario_matrix` — the full scenario × scheduler evaluation
-  matrix over the registered scenarios of :mod:`repro.scenarios`.
+  matrix over the registered scenarios of :mod:`repro.scenarios`;
+* :func:`train_matrix` / :func:`generalization_matrix` — the
+  cross-scenario generalization study (Table VII): train one policy per
+  scenario into a checkpoint zoo, then evaluate every trained policy on
+  every scenario alongside the heuristics (see :mod:`repro.study`).
 
 Results are :class:`EvalResult` — a ``float`` equal to the mean (so all
 existing numeric code keeps working) that also carries the per-sequence
@@ -57,7 +61,15 @@ from .sim.simulator import run_scheduler
 from .workloads.sampler import SequenceSampler
 from .workloads.swf import SWFTrace
 
-__all__ = ["train", "evaluate", "compare", "scenario_matrix", "EvalResult"]
+__all__ = [
+    "train",
+    "evaluate",
+    "compare",
+    "scenario_matrix",
+    "train_matrix",
+    "generalization_matrix",
+    "EvalResult",
+]
 
 train = _train
 
@@ -133,14 +145,26 @@ def _matrix_task(state, task):
     return float(cell["metric_fn"](completed, cell["cluster"].n_procs))
 
 
-def _run_cells(schedulers, cells, runtime) -> list[list[np.ndarray]]:
+def _run_cells(
+    schedulers, cells, runtime, cell_schedulers=None
+) -> list[list[np.ndarray]]:
     """Fan every (cell, scheduler, sequence) task over ``runtime`` and
     reassemble ``values[ci][si]`` in dispatch order (bit-identical for
-    any backend and worker count)."""
+    any backend and worker count).
+
+    ``cell_schedulers`` optionally restricts each cell to a subset of the
+    global scheduler list: one list of scheduler indices per cell (the
+    generalization study evaluates per-scenario retargeted policy
+    instances, so its cells disagree on which schedulers apply).  The
+    returned ``values[ci]`` is aligned with ``cell_schedulers[ci]``;
+    ``None`` keeps the historical all-schedulers-everywhere behaviour.
+    """
+    if cell_schedulers is None:
+        cell_schedulers = [list(range(len(schedulers)))] * len(cells)
     tasks = [
         (ci, si, qi)
         for ci in range(len(cells))
-        for si in range(len(schedulers))
+        for si in cell_schedulers[ci]
         for qi in range(len(cells[ci][0]))
     ]
     with make_backend(runtime) as backend:
@@ -148,9 +172,9 @@ def _run_cells(schedulers, cells, runtime) -> list[list[np.ndarray]]:
         values = backend.map(_matrix_task, tasks, chunksize=runtime.chunksize)
     out: list[list[np.ndarray]] = []
     cursor = 0
-    for sequences, *_ in cells:
+    for (sequences, *_), sched_idx in zip(cells, cell_schedulers):
         row = []
-        for _ in schedulers:
+        for _ in sched_idx:
             row.append(np.array(values[cursor : cursor + len(sequences)],
                                 dtype=np.float64))
             cursor += len(sequences)
@@ -344,3 +368,10 @@ def scenario_matrix(
         }
         for ci, scen in enumerate(resolved)
     }
+
+
+# The generalization study (train one policy per scenario, evaluate every
+# policy on every scenario) lives in repro.study; re-exported here so the
+# whole evaluation surface stays one import.  Imported last — study code
+# calls back into this module's internals at run time, not import time.
+from .study import generalization_matrix, train_matrix  # noqa: E402

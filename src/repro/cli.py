@@ -16,6 +16,11 @@ Commands
     JSON artifact.
 ``train``
     Train an RL scheduling policy and save it as ``.npz``.
+``study``
+    The cross-scenario generalization study (Table VII): train one
+    policy per scenario into a checkpoint zoo (resumable), evaluate
+    every policy on every scenario alongside the heuristics, and write
+    the generalization-matrix JSON artifact.
 
 Examples
 --------
@@ -26,11 +31,15 @@ Examples
     python -m repro generate PIK-IPLEX --jobs 10000 -o pik.swf
     python -m repro evaluate Lublin-1 --metric bsld --backfill
     python -m repro evaluate --scenario lublin-256-mem --workers 4
+    python -m repro evaluate --scenario pik-iplex --no-backfill
     python -m repro compare --scenarios lublin-256,bursty-sdsc \\
         --schedulers FCFS,SJF --workers 2 -o matrix.json
     python -m repro train Lublin-1 --metric bsld --epochs 20 -o model.npz
     python -m repro train --scenario lublin-64 -o model.npz
     python -m repro evaluate Lublin-1 --model model.npz
+    python -m repro study --scenarios lublin-64,lublin-256-mem \\
+        --jobs 400 --epochs 2 --trajectories 2 --length 16 --obsv 8 \\
+        --sequences 2 --eval-length 24 --workers 2 -o generalization.json
 """
 
 from __future__ import annotations
@@ -45,15 +54,17 @@ from . import (
     PPOConfig,
     RuntimeConfig,
     ScenarioConfig,
+    StudyConfig,
     TrainConfig,
     compare,
+    generalization_matrix,
     load_trace,
     scenario_matrix,
     train,
 )
 from .scenarios import available_scenarios, get_scenario
 from .schedulers import HEURISTICS, RLSchedulerPolicy, make_scheduler
-from .sim.metrics import METRICS
+from .sim.metrics import METRICS, metric_by_name
 from .workloads import available_traces, characterize, write_swf
 
 __all__ = ["main", "build_parser"]
@@ -86,9 +97,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="registered scenario name (workload + cluster + "
                         "protocol defaults)")
     p.add_argument("--jobs", type=int, default=4000)
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=None,
+                   help="workload-generation seed; with --scenario it also "
+                        "overrides the protocol's sequence-sampling seed "
+                        "(default: 0 for plain traces, scenario defaults "
+                        "otherwise)")
     p.add_argument("--metric", choices=sorted(METRICS), default=None)
-    p.add_argument("--backfill", action="store_true")
+    p.add_argument("--backfill", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="force backfilling on (--backfill) or off "
+                        "(--no-backfill); default: the scenario protocol, "
+                        "off for plain traces")
     p.add_argument("--sequences", type=int, default=4)
     p.add_argument("--length", type=int, default=256)
     p.add_argument("--swf-dir", default=None)
@@ -107,7 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated scheduler names")
     p.add_argument("--metric", choices=sorted(METRICS), default=None,
                    help="override every scenario's protocol metric")
-    p.add_argument("--backfill", action="store_true")
+    p.add_argument("--backfill", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="force backfilling on/off for every scenario "
+                        "(default: each scenario's protocol)")
     p.add_argument("--jobs", type=int, default=None,
                    help="shrink every scenario workload to N jobs")
     p.add_argument("--sequences", type=int, default=4)
@@ -139,6 +161,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="shard rollout envs over N worker processes (1 = serial)")
     p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser(
+        "study",
+        help="cross-scenario generalization study (Table VII): train one "
+             "policy per scenario, evaluate every policy on every scenario",
+    )
+    p.add_argument("--scenarios", default=None,
+                   help="comma-separated scenario names (default: all "
+                        "registered)")
+    p.add_argument("--zoo-dir", default="zoo",
+                   help="policy-checkpoint directory; scenarios whose "
+                        "<name>.npz already exists skip training (resume)")
+    p.add_argument("--heuristics", default="FCFS,SJF,WFP3,UNICEP,F1",
+                   help="comma-separated heuristic baselines")
+    p.add_argument("--policy", choices=["kernel", "mlp_v1", "mlp_v2",
+                                        "mlp_v3", "lenet"], default="kernel")
+    p.add_argument("--metric", choices=sorted(METRICS), default=None,
+                   help="override every scenario's protocol metric")
+    p.add_argument("--seed", type=int, default=0,
+                   help="training seed (workloads keep scenario seeds)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="shrink every scenario workload to N jobs")
+    p.add_argument("--epochs", type=int, default=16)
+    p.add_argument("--trajectories", type=int, default=14)
+    p.add_argument("--length", type=int, default=64,
+                   help="training trajectory length (jobs per sequence)")
+    p.add_argument("--obsv", type=int, default=32,
+                   help="MAX_OBSV_SIZE (paper default 128)")
+    p.add_argument("--filter", action="store_true",
+                   help="enable trajectory filtering during training")
+    p.add_argument("--sequences", type=int, default=None,
+                   help="evaluation sequences per scenario "
+                        "(default: each scenario's protocol)")
+    p.add_argument("--eval-length", type=int, default=None,
+                   help="evaluation sequence length (default: protocol)")
+    p.add_argument("--on-mismatch", choices=["adapt", "fail"],
+                   default="adapt",
+                   help="deploying a policy on a scenario with a different "
+                        "feature layout: adapt (record the compat mode) or "
+                        "fail loudly")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="worker processes for training rollouts and the "
+                        "evaluation fan-out (1 = serial)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the generalization-matrix JSON artifact")
 
     return parser
 
@@ -190,37 +257,54 @@ def _cmd_evaluate(args) -> int:
     schedulers = [cls() for cls in HEURISTICS.values()]
     if args.scenario:
         scen = get_scenario(args.scenario)  # fail fast on unknown names
+        # Seed precedence: --seed overrides BOTH the workload-generation
+        # seed and the protocol's sequence-sampling seed; without it the
+        # scenario defaults apply to both.
+        eval_seed = scen.protocol.seed if args.seed is None else args.seed
         config = EvalConfig(
             n_sequences=args.sequences, sequence_length=args.length,
-            seed=scen.protocol.seed, runtime=runtime,
+            seed=eval_seed, runtime=runtime,
             scenario=ScenarioConfig(name=args.scenario, n_jobs=args.jobs,
                                     seed=args.seed),
         )
         n_procs = scen.cluster.n_procs
         metric = args.metric or scen.protocol.metric
-        backfill = True if args.backfill else None  # None = protocol default
-        backfill_on = bool(args.backfill or scen.protocol.backfill)
+        backfill = args.backfill  # tri-state; None = protocol default
+        backfill_on = (scen.protocol.backfill if args.backfill is None
+                       else args.backfill)
         trace_arg, label = None, f"scenario {scen.name}"
     else:
-        trace_arg = load_trace(args.name, n_jobs=args.jobs, seed=args.seed,
+        trace_arg = load_trace(args.name, n_jobs=args.jobs,
+                               seed=0 if args.seed is None else args.seed,
                                swf_dir=args.swf_dir)
         config = EvalConfig(n_sequences=args.sequences,
                             sequence_length=args.length, seed=42,
                             runtime=runtime)
         n_procs = trace_arg.max_procs
         metric = args.metric or "bsld"
-        backfill = args.backfill
-        backfill_on = args.backfill
+        backfill = bool(args.backfill)
+        backfill_on = backfill
         label = trace_arg.name
     if args.model:
         rl = RLSchedulerPolicy.load(args.model)
-        # Retarget the saved policy at this cluster through the checked
-        # setter: a bogus size fails loudly here, not mid-run.
-        rl.n_procs = n_procs
+        if args.scenario:
+            # Full retarget: checked n_procs rebind plus explicit
+            # feature-layout classification against the scenario.
+            rl = rl.retarget(scen)
+            if rl.compat != "native":
+                print(f"note: {rl.name} deploys {rl.compat} on "
+                      f"scenario {scen.name}")
+        else:
+            # Retarget the saved policy at this cluster through the
+            # checked setter: a bogus size fails loudly here, not mid-run.
+            rl.n_procs = n_procs
         schedulers.append(rl)
     scores = compare(schedulers, trace_arg, metric=metric,
                      backfill=backfill, config=config)
-    mode = "backfill" if backfill_on else "no backfill"
+    if not backfill_on:
+        mode = "no backfill"
+    else:  # True or a named variant like "conservative"
+        mode = "backfill" if backfill_on is True else f"{backfill_on} backfill"
     print(f"{metric} on {label} ({mode}, "
           f"{args.sequences}x{args.length} jobs, workers={args.workers}):")
     for name, value in scores.items():
@@ -238,7 +322,7 @@ def _cmd_compare(args) -> int:
     )
     matrix = scenario_matrix(
         scheds, names, metric=args.metric,
-        backfill=True if args.backfill else None,
+        backfill=args.backfill,  # tri-state; None = per-scenario protocol
         config=config, n_jobs=args.jobs,
     )
     sched_names = [s.name for s in scheds]
@@ -315,11 +399,75 @@ def _cmd_train(args) -> int:
     )
     sched = result.as_scheduler()
     sched.save(args.output)
-    curve = result.metric_curve()
     print(f"trained {args.policy} on {trace_label} for {args.metric}: "
-          f"epoch-0 {curve[0]:.2f} -> best {curve.min():.2f} "
-          f"(epoch {result.best_epoch})")
+          + _train_summary(result))
     print(f"saved to {args.output}")
+    return 0
+
+
+def _train_summary(result) -> str:
+    """The curve half of the ``train`` report, direction-aware.
+
+    The "best" epoch is the one held-out greedy validation selected (the
+    checkpoint :meth:`TrainingResult.as_scheduler` deploys), so the
+    summary reports the training-curve value *at that epoch* — not the
+    curve extremum, which for higher-is-better metrics like ``util``
+    isn't even the right end of the range.
+    """
+    curve = result.metric_curve()
+    _, higher_is_better = metric_by_name(result.metric)
+    direction = "higher" if higher_is_better else "lower"
+    if result.best_epoch >= 0:
+        return (f"epoch-0 {curve[0]:.2f} -> {curve[result.best_epoch]:.2f} "
+                f"at validation-best epoch {result.best_epoch} "
+                f"({direction} is better)")
+    # no epoch ever won validation (e.g. all-NaN rewards): report the end
+    return (f"epoch-0 {curve[0]:.2f} -> final {curve[-1]:.2f} "
+            f"({direction} is better)")
+
+
+def _cmd_study(args) -> int:
+    config = StudyConfig(
+        scenarios=tuple(n.strip() for n in args.scenarios.split(","))
+        if args.scenarios else (),
+        zoo_dir=args.zoo_dir,
+        heuristics=tuple(n.strip() for n in args.heuristics.split(",")),
+        policy_preset=args.policy,
+        metric=args.metric,
+        seed=args.seed,
+        epochs=args.epochs,
+        trajectories_per_epoch=args.trajectories,
+        trajectory_length=args.length,
+        max_obsv_size=args.obsv,
+        use_trajectory_filter=args.filter,
+        n_jobs=args.jobs,
+        n_sequences=args.sequences,
+        sequence_length=args.eval_length,
+        on_mismatch=args.on_mismatch,
+        runtime=RuntimeConfig.from_workers(args.workers),
+    )
+    doc = generalization_matrix(config, progress=print)
+    results = doc["results"]
+    columns = list(next(iter(results.values())))
+    width = max(len(n) for n in results) + 2
+    col_width = max(14, max(len(n) for n in columns) + 2)
+    print(f"generalization matrix ({len(results)} scenarios x "
+          f"{len(columns)} schedulers, workers={args.workers}):")
+    print(" " * width + "".join(f"{n:>{col_width}}" for n in columns))
+    for scen_name, row in results.items():
+        cells = "".join(f"{row[n]['mean']:{col_width}.3f}" for n in columns)
+        print(f"{scen_name:<{width}}{cells}")
+    for policy_name, info in doc["policies"].items():
+        non_native = {s: c for s, c in info["compat"].items()
+                      if c != "native"}
+        if non_native:
+            notes = ", ".join(f"{s}: {c}" for s, c in non_native.items())
+            print(f"  {policy_name} deployed cross-layout -> {notes}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2, allow_nan=False)
+            fh.write("\n")
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -330,6 +478,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "compare": _cmd_compare,
     "train": _cmd_train,
+    "study": _cmd_study,
 }
 
 

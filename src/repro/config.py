@@ -20,7 +20,22 @@ __all__ = [
     "EvalConfig",
     "RuntimeConfig",
     "ScenarioConfig",
+    "StudyConfig",
+    "FeatureLayoutError",
 ]
+
+
+class FeatureLayoutError(ValueError):
+    """A policy's observation layout cannot be deployed as requested.
+
+    Raised either at :class:`repro.schedulers.RLSchedulerPolicy`
+    construction time, when the policy network's input width disagrees
+    with the :class:`EnvConfig` it is asked to observe through (the error
+    that would otherwise surface as a shape mismatch deep inside the
+    first ``select()``), or by ``retarget(..., on_mismatch="fail")`` when
+    the policy's feature layout differs from the target scenario's native
+    one and the caller asked for strict semantics.
+    """
 
 
 @dataclass(frozen=True)
@@ -119,6 +134,33 @@ class EnvConfig:
     def observation_shape(self) -> tuple[int, int]:
         return (self.max_obsv_size, self.job_features)
 
+    def feature_compat(self, target: "EnvConfig") -> str:
+        """How a policy observing through *this* layout relates to an
+        environment whose native layout is ``target``.
+
+        A deployed policy always builds observations through its own
+        :class:`EnvConfig`, so any combination *runs*; this classifies
+        what the policy can and cannot see so callers implement explicit
+        adapt-or-fail semantics instead of silently degrading:
+
+        ``"native"``
+            same per-resource layout — nothing is lost;
+        ``"memory-blind"``
+            the target carries memory features this policy was not
+            trained with: it schedules a memory-constrained cluster
+            without seeing memory demands or availability;
+        ``"memory-neutral"``
+            this policy carries memory features the target lacks: on an
+            unconstrained cluster its memory columns read the neutral
+            values (zero demand fraction, all memory free), which are
+            valid in-distribution inputs.
+        """
+        if self.memory_features == target.memory_features:
+            return "native"
+        if target.memory_features:
+            return "memory-blind"
+        return "memory-neutral"
+
 
 @dataclass(frozen=True)
 class PPOConfig:
@@ -191,3 +233,66 @@ class EvalConfig:
             raise TypeError("runtime must be a RuntimeConfig")
         if self.scenario is not None and not isinstance(self.scenario, ScenarioConfig):
             raise TypeError("scenario must be a ScenarioConfig (or None)")
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """The cross-scenario generalization study (paper Table VII).
+
+    One policy is trained per scenario (checkpointed into ``zoo_dir``;
+    scenarios whose ``<name>.npz`` already exists skip training), then
+    every trained policy is evaluated against every scenario alongside
+    the heuristic baselines — see :mod:`repro.study`.
+
+    ``None`` for the eval knobs (``n_sequences`` / ``sequence_length``)
+    and for ``metric`` means each scenario's own protocol applies;
+    ``n_jobs`` shrinks every scenario workload (smoke runs).
+    ``on_mismatch`` selects the cross-feature-layout semantics of
+    :meth:`repro.schedulers.RLSchedulerPolicy.retarget`: ``"adapt"``
+    deploys a policy on scenarios with a different per-resource layout
+    (recording the compatibility mode in the artifact), ``"fail"``
+    raises :class:`FeatureLayoutError` instead.
+    """
+
+    #: accepted cross-layout deployment semantics
+    MISMATCH_MODES = ("adapt", "fail")
+
+    scenarios: tuple = ()         # scenario names; () = all registered
+    zoo_dir: str = "zoo"
+    heuristics: tuple = ("FCFS", "SJF", "WFP3", "UNICEP", "F1")
+    policy_preset: str = "kernel"
+    metric: str | None = None     # override every scenario's protocol metric
+    seed: int = 0                 # training seed (workloads keep scenario seeds)
+    # -- training knobs (one Trainer per scenario) ----------------------
+    epochs: int = 16
+    trajectories_per_epoch: int = 14
+    trajectory_length: int = 64
+    max_obsv_size: int = 32
+    use_trajectory_filter: bool = False
+    # -- evaluation knobs (None = scenario protocol) --------------------
+    n_jobs: int | None = None
+    n_sequences: int | None = None
+    sequence_length: int | None = None
+    on_mismatch: str = "adapt"
+    runtime: RuntimeConfig = RuntimeConfig()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "heuristics", tuple(self.heuristics))
+        if not self.zoo_dir:
+            raise ValueError("zoo_dir must be non-empty")
+        if min(self.epochs, self.trajectories_per_epoch,
+               self.trajectory_length, self.max_obsv_size) <= 0:
+            raise ValueError("training sizes must be positive")
+        for name, value in (("n_jobs", self.n_jobs),
+                            ("n_sequences", self.n_sequences),
+                            ("sequence_length", self.sequence_length)):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive (or None), got {value}")
+        if self.on_mismatch not in self.MISMATCH_MODES:
+            raise ValueError(
+                f"on_mismatch must be one of {self.MISMATCH_MODES}, "
+                f"got {self.on_mismatch!r}"
+            )
+        if not isinstance(self.runtime, RuntimeConfig):
+            raise TypeError("runtime must be a RuntimeConfig")

@@ -41,8 +41,12 @@ records it in ``BENCH_perf.json``.
 
 from __future__ import annotations
 
+import copy
+import dataclasses
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -79,6 +83,15 @@ class EpochRecord:
     filtered_phase: bool
     val_reward: float = float("nan")  # greedy-policy reward on held-out seqs
 
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EpochRecord":
+        data = dict(data)
+        data["stats"] = UpdateStats(**data["stats"])
+        return cls(**data)
+
 
 @dataclass
 class TrainingResult:
@@ -94,6 +107,12 @@ class TrainingResult:
     env_config: EnvConfig | None = None
     best_policy_state: dict | None = None  # snapshot of the best epoch
     best_epoch: int = -1
+    #: free-form training provenance (seed, epoch budget, ...) carried
+    #: through save/load — callers that checkpoint results (the study
+    #: zoo) record how a checkpoint was produced so a restore can detect
+    #: config drift instead of silently reporting the current run's
+    #: settings as the checkpoint's
+    train_meta: dict | None = None
 
     def metric_curve(self) -> np.ndarray:
         """Per-epoch mean metric values (the Fig. 10-13 y-axis)."""
@@ -109,19 +128,116 @@ class TrainingResult:
         """Wrap the trained policy for greedy deployment (Table V-XI).
 
         ``use_best`` restores the snapshot from the best training epoch
-        (by mean reward); per-epoch stochasticity means the *final* epoch
-        is not necessarily the strongest policy.
+        (by held-out greedy validation reward); per-epoch stochasticity
+        means the *final* epoch is not necessarily the strongest policy.
+        The snapshot is loaded into a fresh copy of the policy module —
+        ``self.policy`` keeps the final-epoch weights, so resumed
+        training and a later ``as_scheduler(use_best=False)`` are
+        unaffected.
         """
         if self.policy is None:
             raise RuntimeError("training has not run yet")
+        policy = self.policy
         if use_best and self.best_policy_state is not None:
-            self.policy.load_state_dict(self.best_policy_state)
+            policy = copy.deepcopy(self.policy)
+            policy.load_state_dict(self.best_policy_state)
         return RLSchedulerPolicy(
-            self.policy,
+            policy,
             n_procs=self.n_procs,
             env_config=self.env_config,
             preset=self.policy_preset,
             name=name or f"RL-{self.trace_name}",
+        )
+
+    # -- checkpointing ---------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the complete result as one ``.npz`` checkpoint.
+
+        Stores the final policy weights, the best-epoch snapshot, the
+        value-network weights, and a JSON metadata blob holding the
+        training curve and provenance (trace name, metric, preset,
+        cluster size, the full :class:`EnvConfig`).  :meth:`load`
+        round-trips everything, so a restored checkpoint deploys and
+        reports identically to the in-memory result — the resume
+        contract of the generalization study's policy zoo.
+
+        Requires a preset-buildable policy (``policy_preset`` must name a
+        registered preset so :meth:`load` can rebuild the network).
+        """
+        if self.policy is None:
+            raise RuntimeError("training has not run yet")
+        state: dict[str, np.ndarray] = {
+            f"policy/{k}": v for k, v in self.policy.state_dict().items()
+        }
+        if self.best_policy_state is not None:
+            state.update(
+                (f"best/{k}", np.asarray(v))
+                for k, v in self.best_policy_state.items()
+            )
+        if self.value is not None:
+            state.update(
+                (f"value/{k}", v) for k, v in self.value.state_dict().items()
+            )
+        meta = {
+            "trace_name": self.trace_name,
+            "metric": self.metric,
+            "policy_preset": self.policy_preset,
+            "n_procs": self.n_procs,
+            "best_epoch": self.best_epoch,
+            "env_config": (
+                None if self.env_config is None
+                else dataclasses.asdict(self.env_config)
+            ),
+            "train_meta": self.train_meta,
+            "curve": [r.to_dict() for r in self.curve],
+        }
+        state["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        # Write-then-rename so an interrupted save never leaves a
+        # truncated .npz behind — a half-written checkpoint would satisfy
+        # the zoo's exists() resume check and crash the restore.
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp.npz")
+        np.savez(tmp, **state)
+        tmp.replace(path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TrainingResult":
+        """Rebuild a :meth:`save`d result (weights, curve, provenance)."""
+        groups: dict[str, dict[str, np.ndarray]] = {
+            "policy": {}, "best": {}, "value": {}
+        }
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["__meta__"]).decode())
+            for key in data.files:
+                if key == "__meta__":
+                    continue
+                group, _, name = key.partition("/")
+                groups[group][name] = data[key]
+        env_config = (
+            EnvConfig() if meta["env_config"] is None
+            else EnvConfig(**meta["env_config"])
+        )
+        m, f = env_config.max_obsv_size, env_config.job_features
+        policy = make_policy(meta["policy_preset"], m, f)
+        policy.load_state_dict(groups["policy"])
+        value = None
+        if groups["value"]:
+            value = ValueMLP(m, f)
+            value.load_state_dict(groups["value"])
+        return cls(
+            trace_name=meta["trace_name"],
+            metric=meta["metric"],
+            policy_preset=meta["policy_preset"],
+            curve=[EpochRecord.from_dict(r) for r in meta["curve"]],
+            policy=policy,
+            value=value,
+            n_procs=meta["n_procs"],
+            env_config=env_config,
+            best_policy_state=groups["best"] or None,
+            best_epoch=meta["best_epoch"],
+            train_meta=meta.get("train_meta"),
         )
 
 

@@ -14,7 +14,7 @@ from .heuristics import (
     SmallestFirst,
     make_scheduler,
 )
-from .rl_scheduler import RLSchedulerPolicy
+from .rl_scheduler import FeatureLayoutError, RLSchedulerPolicy
 
 __all__ = [
     "Scheduler",
@@ -30,4 +30,5 @@ __all__ = [
     "ALL_HEURISTICS",
     "make_scheduler",
     "RLSchedulerPolicy",
+    "FeatureLayoutError",
 ]

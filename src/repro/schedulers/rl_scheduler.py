@@ -39,9 +39,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.config import EnvConfig
+from repro.config import EnvConfig, FeatureLayoutError
 from repro.nn import Module, make_policy, masked_log_softmax, no_grad
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import Cluster, ClusterSpec
 from repro.sim.env import (
     FeatureCache,
     build_observation,
@@ -52,7 +52,7 @@ from repro.workloads.job import Job
 
 from .base import Scheduler
 
-__all__ = ["RLSchedulerPolicy", "DeployFeatureCache"]
+__all__ = ["RLSchedulerPolicy", "DeployFeatureCache", "FeatureLayoutError"]
 
 
 class DeployFeatureCache:
@@ -170,6 +170,11 @@ class RLSchedulerPolicy(Scheduler):
 
     name = "RL"
 
+    #: how this policy's feature layout relates to the setting it was last
+    #: :meth:`retarget`ed at — "native" until a retarget says otherwise
+    #: (see :meth:`repro.config.EnvConfig.feature_compat`)
+    compat = "native"
+
     def __init__(
         self,
         policy: Module,
@@ -181,10 +186,94 @@ class RLSchedulerPolicy(Scheduler):
         self.policy = policy
         self.env_config = env_config or EnvConfig()
         self.preset = preset
+        # A policy network whose input width disagrees with the feature
+        # layout it is asked to observe through would only fail at the
+        # first forward, deep inside a simulation (possibly in a runtime
+        # worker) — check here instead.
+        policy_features = getattr(policy, "job_features", None)
+        if (policy_features is not None
+                and policy_features != self.env_config.job_features):
+            raise FeatureLayoutError(
+                f"policy network expects {policy_features} features per job "
+                f"but env_config.job_features is "
+                f"{self.env_config.job_features}; rebuild the network for "
+                "this layout or pass the EnvConfig it was trained with"
+            )
+        policy_slots = getattr(policy, "max_obsv_size", None)
+        if (policy_slots is not None
+                and policy_slots != self.env_config.max_obsv_size):
+            raise FeatureLayoutError(
+                f"policy network expects {policy_slots} observable job "
+                f"slots but env_config.max_obsv_size is "
+                f"{self.env_config.max_obsv_size}"
+            )
         self._cache: DeployFeatureCache | None = None
         self.n_procs = n_procs  # checked property; also resets the cache
         if name is not None:
             self.name = name
+
+    # ------------------------------------------------------------------
+    def retarget(
+        self,
+        target,
+        on_mismatch: str = "adapt",
+        name: str | None = None,
+    ) -> "RLSchedulerPolicy":
+        """A copy of this policy aimed at another scenario or cluster.
+
+        ``target`` is a registered scenario name, a
+        :class:`repro.scenarios.Scenario`, a
+        :class:`~repro.sim.cluster.ClusterSpec`, or a bare processor
+        count.  The copy's ``n_procs`` is set through the checked setter
+        (a bogus cluster size fails here, not mid-run) and its ``compat``
+        attribute records how this policy's feature layout relates to the
+        target's native one (``"native"`` / ``"memory-blind"`` /
+        ``"memory-neutral"`` — see
+        :meth:`repro.config.EnvConfig.feature_compat`).  The policy keeps
+        observing through its *own* trained layout either way; with
+        ``on_mismatch="fail"`` a non-native combination raises
+        :class:`~repro.config.FeatureLayoutError` instead of adapting.
+
+        ``self`` is never mutated — the zoo copy a study holds stays
+        aimed at its training cluster.
+        """
+        if on_mismatch not in ("adapt", "fail"):
+            raise ValueError(
+                f"on_mismatch must be 'adapt' or 'fail', got {on_mismatch!r}"
+            )
+        from repro.scenarios import Scenario, get_scenario  # local: no cycle
+
+        target_label = None
+        if isinstance(target, (str, Scenario)):
+            scenario = get_scenario(target)
+            cluster = scenario.cluster
+            target_env = scenario.env_config()
+            target_label = f"scenario {scenario.name!r}"
+        else:
+            cluster = ClusterSpec.coerce(target)
+            memory = cluster.memory is not None
+            target_env = EnvConfig(
+                job_features=max(self.env_config.job_features, 9) if memory
+                else self.env_config.job_features,
+                memory_features=memory,
+            )
+            target_label = f"cluster {cluster.n_procs}p"
+        compat = self.env_config.feature_compat(target_env)
+        if compat != "native" and on_mismatch == "fail":
+            raise FeatureLayoutError(
+                f"{self.name} was trained "
+                f"{'without' if compat == 'memory-blind' else 'with'} memory "
+                f"features but {target_label} is "
+                f"{'memory-constrained' if compat == 'memory-blind' else 'unconstrained'} "
+                f"({compat}); pass on_mismatch='adapt' to deploy anyway"
+            )
+        clone = RLSchedulerPolicy.__new__(RLSchedulerPolicy)
+        clone.__setstate__(self.__getstate__())
+        clone.n_procs = cluster.n_procs  # checked setter, rebinds the cache
+        clone.compat = compat
+        if name is not None:
+            clone.name = name
+        return clone
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,15 @@
+"""Cross-scenario generalization study (paper Table VII)."""
+
+from .core import (
+    ARTIFACT_SCHEMA,
+    StudyPolicy,
+    generalization_matrix,
+    train_matrix,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "StudyPolicy",
+    "train_matrix",
+    "generalization_matrix",
+]

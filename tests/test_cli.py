@@ -175,3 +175,113 @@ class TestScenarioCommands:
         assert code == 0
         assert model.exists()
         assert "scenario lublin-64" in capsys.readouterr().out
+
+
+class TestEvaluateBackfillTriState:
+    """--backfill/--no-backfill must be able to override the scenario
+    protocol in BOTH directions (regression: a backfill-by-default
+    scenario could never be evaluated without it from the CLI)."""
+
+    def test_parser_default_is_protocol(self):
+        args = build_parser().parse_args(["evaluate", "Lublin-1"])
+        assert args.backfill is None
+        args = build_parser().parse_args(["evaluate", "Lublin-1", "--backfill"])
+        assert args.backfill is True
+        args = build_parser().parse_args(["evaluate", "Lublin-1",
+                                          "--no-backfill"])
+        assert args.backfill is False
+        args = build_parser().parse_args(["compare", "--no-backfill"])
+        assert args.backfill is False
+
+    def test_backfill_protocol_scenario_can_disable(self, capsys):
+        """pik-iplex's protocol enables backfill; --no-backfill wins."""
+        base = ["evaluate", "--scenario", "pik-iplex", "--jobs", "300",
+                "--sequences", "1", "--length", "12"]
+        assert main(base) == 0
+        assert "(backfill" in capsys.readouterr().out  # protocol default
+        assert main(base + ["--no-backfill"]) == 0
+        assert "(no backfill" in capsys.readouterr().out
+
+    def test_plain_trace_default_stays_off(self, capsys):
+        assert main(["evaluate", "Lublin-1", "--jobs", "400",
+                     "--sequences", "1", "--length", "16"]) == 0
+        assert "(no backfill" in capsys.readouterr().out
+
+
+class TestEvaluateScenarioSeed:
+    """--seed must reach the sequence-sampling EvalConfig, not only the
+    workload generator (regression: it was pinned to the protocol seed)."""
+
+    @pytest.fixture()
+    def captured(self, monkeypatch):
+        from repro.api import EvalResult
+
+        calls = {}
+
+        def fake_compare(schedulers, trace, metric=None, backfill=None,
+                         config=None):
+            calls["config"] = config
+            return {"FCFS": EvalResult([1.0])}
+
+        monkeypatch.setattr("repro.cli.compare", fake_compare)
+        return calls
+
+    def test_explicit_seed_reaches_sequence_sampling(self, captured, capsys):
+        assert main(["evaluate", "--scenario", "lublin-64", "--seed", "7"]) == 0
+        assert captured["config"].seed == 7
+        assert captured["config"].scenario.seed == 7
+
+    def test_default_keeps_protocol_and_workload_seeds(self, captured, capsys):
+        assert main(["evaluate", "--scenario", "lublin-64"]) == 0
+        assert captured["config"].seed == 42  # lublin-64 protocol seed
+        assert captured["config"].scenario.seed is None  # workload default
+
+
+class TestTrainSummary:
+    """The train report must show the validation-best epoch's curve value
+    with direction-aware wording (regression: it printed curve.min(),
+    wrong for higher-is-better metrics, next to an unrelated epoch)."""
+
+    @staticmethod
+    def result_with_curve(metric, values, best_epoch):
+        from repro.rl.ppo import UpdateStats
+        from repro.rl.trainer import EpochRecord, TrainingResult
+
+        stats = UpdateStats(policy_loss=0.0, value_loss=0.0, kl=0.0,
+                            entropy=0.0, pi_iters_run=1, early_stopped=False)
+        curve = [
+            EpochRecord(epoch=i, mean_metric=v, mean_reward=v, stats=stats,
+                        n_rejected=0, wall_time=0.1, filtered_phase=False)
+            for i, v in enumerate(values)
+        ]
+        return TrainingResult(trace_name="t", metric=metric,
+                              policy_preset="kernel", curve=curve,
+                              best_epoch=best_epoch)
+
+    def test_higher_is_better_metric_reports_best_epoch_value(self):
+        from repro.cli import _train_summary
+
+        # util: higher is better; validation picked epoch 2 (0.70), while
+        # curve.min() is 0.50 — the old, doubly-wrong report
+        summary = _train_summary(
+            self.result_with_curve("util", [0.5, 0.9, 0.7], best_epoch=2))
+        assert "0.70" in summary
+        assert "epoch 2" in summary
+        assert "higher is better" in summary
+        assert "0.50" in summary  # only as the epoch-0 starting point
+
+    def test_lower_is_better_metric(self):
+        from repro.cli import _train_summary
+
+        summary = _train_summary(
+            self.result_with_curve("bsld", [40.0, 12.0, 19.0], best_epoch=1))
+        assert "12.00" in summary
+        assert "epoch 1" in summary
+        assert "lower is better" in summary
+
+    def test_no_validated_epoch_falls_back_to_final(self):
+        from repro.cli import _train_summary
+
+        summary = _train_summary(
+            self.result_with_curve("bsld", [40.0, 19.0], best_epoch=-1))
+        assert "final 19.00" in summary

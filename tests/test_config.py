@@ -99,3 +99,25 @@ class TestRuntimeConfig:
         assert cfg.runtime.backend == "process"
         with pytest.raises(TypeError):
             TrainConfig(runtime=2)
+
+
+class TestFeatureCompat:
+    def seven(self):
+        from repro.config import EnvConfig
+
+        return EnvConfig()
+
+    def nine(self):
+        from repro.config import EnvConfig
+
+        return EnvConfig(job_features=9, memory_features=True)
+
+    def test_same_layout_is_native(self):
+        assert self.seven().feature_compat(self.seven()) == "native"
+        assert self.nine().feature_compat(self.nine()) == "native"
+
+    def test_plain_policy_on_memory_env_is_blind(self):
+        assert self.seven().feature_compat(self.nine()) == "memory-blind"
+
+    def test_memory_policy_on_plain_env_is_neutral(self):
+        assert self.nine().feature_compat(self.seven()) == "memory-neutral"

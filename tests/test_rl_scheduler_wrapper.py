@@ -299,3 +299,107 @@ class TestPersistence:
         path = tmp_path / "m.npz"
         s.save(path)
         assert RLSchedulerPolicy.load(path).name == "RL-Lublin-1"
+
+
+class TestFeatureLayoutValidation:
+    """Construction-time layout checks: shape mismatches must fail loudly
+    at build time, not as tensor errors mid-simulation."""
+
+    def test_feature_width_mismatch_fails_at_construction(self):
+        from repro.schedulers import FeatureLayoutError
+
+        policy = make_policy("kernel", 16, 7)
+        nine_col = EnvConfig(max_obsv_size=16, job_features=9,
+                             memory_features=True)
+        with pytest.raises(FeatureLayoutError, match="7 features"):
+            RLSchedulerPolicy(policy, n_procs=8, env_config=nine_col)
+
+    def test_obsv_size_mismatch_fails_at_construction(self):
+        from repro.schedulers import FeatureLayoutError
+
+        policy = make_policy("mlp_v2", 16, 7)
+        wider = EnvConfig(max_obsv_size=32)
+        with pytest.raises(FeatureLayoutError, match="16 observable"):
+            RLSchedulerPolicy(policy, n_procs=8, env_config=wider)
+
+
+class TestRetarget:
+    """Cross-scenario policy retargeting (generalization-study deploys)."""
+
+    def seven_feature_policy(self):
+        env_config = EnvConfig(max_obsv_size=16)
+        policy = make_policy("kernel", 16, env_config.job_features, seed=0)
+        return RLSchedulerPolicy(policy, n_procs=64, env_config=env_config,
+                                 name="RL-7f")
+
+    def nine_feature_policy(self):
+        env_config = EnvConfig(max_obsv_size=16, job_features=9,
+                               memory_features=True)
+        policy = make_policy("kernel", 16, 9, seed=0)
+        return RLSchedulerPolicy(policy, n_procs=256, env_config=env_config,
+                                 name="RL-9f")
+
+    def test_seven_feature_policy_adapts_to_memory_scenario(self):
+        from repro.scenarios import get_scenario
+
+        rl = self.seven_feature_policy()
+        scen = get_scenario("lublin-256-mem")
+        deployed = rl.retarget(scen)
+        assert deployed.compat == "memory-blind"
+        assert deployed.n_procs == scen.cluster.n_procs == 256
+        # the source policy is untouched (the zoo copy stays pristine)
+        assert rl.n_procs == 64 and rl.compat == "native"
+        # and the adapted policy actually schedules the memory cluster
+        jobs = scen.build_trace(n_jobs=120).jobs[:40]
+        done = run_scheduler([j.copy() for j in jobs], scen.cluster, deployed)
+        assert len(done) == 40
+
+    def test_nine_feature_policy_adapts_to_unconstrained_scenario(self):
+        from repro.scenarios import get_scenario
+
+        rl = self.nine_feature_policy()
+        scen = get_scenario("lublin-64")
+        deployed = rl.retarget("lublin-64")  # names resolve too
+        assert deployed.compat == "memory-neutral"
+        assert deployed.n_procs == 64
+        assert rl.n_procs == 256
+        jobs = scen.build_trace(n_jobs=120).jobs[:40]
+        done = run_scheduler([j.copy() for j in jobs], scen.cluster, deployed)
+        assert len(done) == 40
+
+    def test_native_retarget_between_unconstrained_scenarios(self):
+        rl = self.seven_feature_policy()
+        deployed = rl.retarget("lublin-256")
+        assert deployed.compat == "native"
+        assert deployed.n_procs == 256
+
+    def test_strict_mode_raises_both_directions(self):
+        from repro.schedulers import FeatureLayoutError
+
+        with pytest.raises(FeatureLayoutError, match="memory-blind"):
+            self.seven_feature_policy().retarget(
+                "lublin-256-mem", on_mismatch="fail")
+        with pytest.raises(FeatureLayoutError, match="memory-neutral"):
+            self.nine_feature_policy().retarget(
+                "lublin-64", on_mismatch="fail")
+
+    def test_strict_mode_native_still_works(self):
+        deployed = self.seven_feature_policy().retarget(
+            "lublin-256", on_mismatch="fail")
+        assert deployed.compat == "native"
+
+    def test_cluster_spec_and_bare_int_targets(self):
+        from repro.sim import ClusterSpec
+
+        rl = self.seven_feature_policy()
+        assert rl.retarget(ClusterSpec(128)).n_procs == 128
+        assert rl.retarget(32).n_procs == 32
+        mem_cluster = ClusterSpec(128, memory=64.0)
+        assert rl.retarget(mem_cluster).compat == "memory-blind"
+        with pytest.raises(Exception):
+            rl.retarget(0)  # checked n_procs setter fails loudly
+
+    def test_invalid_on_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="on_mismatch"):
+            self.seven_feature_policy().retarget("lublin-64",
+                                                 on_mismatch="maybe")

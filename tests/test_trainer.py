@@ -66,6 +66,63 @@ class TestTrainerMechanics:
         with pytest.raises(RuntimeError):
             result.as_scheduler()
 
+    def test_as_scheduler_use_best_does_not_mutate_policy(self, trace):
+        """Regression: restoring the best snapshot must not overwrite the
+        final-epoch weights — a later use_best=False deployment (or
+        resumed training) would silently continue from the snapshot."""
+        t = Trainer(trace, env_config=TINY_ENV, ppo_config=TINY_PPO,
+                    train_config=tiny_train_config(epochs=1))
+        result = t.train()
+        final = {k: v.copy() for k, v in result.policy.state_dict().items()}
+        # force a best snapshot that provably differs from the final weights
+        result.best_policy_state = {k: v + 1.0 for k, v in final.items()}
+        result.best_epoch = 0
+
+        best_sched = result.as_scheduler(use_best=True)
+        for key, value in result.policy.state_dict().items():
+            np.testing.assert_array_equal(value, final[key])
+        for key, value in best_sched.policy.state_dict().items():
+            np.testing.assert_array_equal(value, final[key] + 1.0)
+
+        final_sched = result.as_scheduler(use_best=False)
+        for key, value in final_sched.policy.state_dict().items():
+            np.testing.assert_array_equal(value, final[key])
+
+    def test_save_load_round_trips_everything(self, trace, tmp_path):
+        t = Trainer(trace, env_config=TINY_ENV, ppo_config=TINY_PPO,
+                    train_config=tiny_train_config())
+        result = t.train()
+        path = tmp_path / "ckpt.npz"
+        result.save(path)
+        loaded = type(result).load(path)
+
+        assert loaded.trace_name == result.trace_name
+        assert loaded.metric == result.metric
+        assert loaded.policy_preset == result.policy_preset
+        assert loaded.n_procs == result.n_procs
+        assert loaded.env_config == result.env_config
+        assert loaded.best_epoch == result.best_epoch
+        for group in ("policy", "value"):
+            fresh = getattr(result, group).state_dict()
+            restored = getattr(loaded, group).state_dict()
+            for key in fresh:
+                np.testing.assert_array_equal(fresh[key], restored[key])
+        for key in result.best_policy_state:
+            np.testing.assert_array_equal(
+                result.best_policy_state[key], loaded.best_policy_state[key])
+        assert [r.to_dict() for r in loaded.curve] == [
+            r.to_dict() for r in result.curve]
+        np.testing.assert_array_equal(
+            loaded.metric_curve(), result.metric_curve())
+
+    def test_save_before_train_raises(self, tmp_path):
+        from repro.rl.trainer import TrainingResult
+
+        result = TrainingResult(trace_name="x", metric="bsld",
+                                policy_preset="kernel")
+        with pytest.raises(RuntimeError):
+            result.save(tmp_path / "ckpt.npz")
+
     def test_utilization_metric_sign(self, trace):
         """util is maximised: mean_metric must equal +mean_reward."""
         t = Trainer(trace, metric="util", env_config=TINY_ENV, ppo_config=TINY_PPO,

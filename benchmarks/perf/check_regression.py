@@ -11,12 +11,13 @@ regression can hide:
   reported as advisory instead of failing — unless ``--strict`` forces
   the gate.  Absolute steps/s across differently-sized CI runners would
   otherwise be a standing false alarm.
-* **vectorization speedup ratio** (``rollout.speedup`` — vectorized vs
-  sequential throughput *within the same run*): hardware-independent, so
-  it gates on **every** platform.  Its tolerance is looser
-  (``--ratio-tolerance``, default 40%) because tiny smoke runs are
-  noisy; it exists to catch the vectorized path collapsing toward the
-  sequential one, which no runner change can excuse.
+* **within-run speedup ratios** (``rollout.speedup`` — vectorized vs
+  sequential rollout throughput — and ``ppo_update.sparse_speedup`` —
+  sparse vs dense policy-step time): each is measured *within one run*,
+  so it is hardware-independent and gates on **every** platform.  The
+  tolerance is looser (``--ratio-tolerance``, default 40%) because tiny
+  smoke runs are noisy; the checks exist to catch an optimised path
+  collapsing toward its reference, which no runner change can excuse.
 
 Improvements and unrelated-metric noise never fail.  A baseline with no
 entry for the requested scale passes with a notice (first run on a new
@@ -38,7 +39,11 @@ import sys
 from pathlib import Path
 
 METRIC = ("rollout", "vectorized_steps_per_sec")
-RATIO_METRIC = ("rollout", "speedup")
+#: (section, key, what fell) — all within-run, hardware-independent ratios
+RATIO_METRICS = (
+    ("rollout", "speedup", "vectorization speedup"),
+    ("ppo_update", "sparse_speedup", "sparse-update speedup"),
+)
 
 
 def load_scale(path: Path, scale: str) -> dict | None:
@@ -121,20 +126,20 @@ def main(argv=None) -> int:
                   "recorded on different hardware — not gating (use "
                   "--strict to force)")
 
-    # -- speedup ratio: hardware-independent, gates everywhere -----------
-    section, key = RATIO_METRIC
-    base_r = base.get(section, {}).get(key)
-    cur_r = cur.get(section, {}).get(key)
-    if base_r is None or cur_r is None:
-        print(f"[bench-check] {section}.{key}: missing on one side; "
-              "skipping ratio check")
-    else:
+    # -- speedup ratios: hardware-independent, gate everywhere -----------
+    for section, key, label in RATIO_METRICS:
+        base_r = base.get(section, {}).get(key)
+        cur_r = cur.get(section, {}).get(key)
+        if base_r is None or cur_r is None:
+            print(f"[bench-check] {section}.{key}: missing on one side; "
+                  "skipping ratio check")
+            continue
         ratio_floor = base_r * (1.0 - args.ratio_tolerance)
         print(f"[bench-check] scale={args.scale} {section}.{key}: "
               f"baseline {base_r:.2f}x, current {cur_r:.2f}x; floor "
               f"{ratio_floor:.2f}x at {args.ratio_tolerance:.0%} tolerance")
         if cur_r < ratio_floor:
-            print(f"[bench-check] FAIL: vectorization speedup fell "
+            print(f"[bench-check] FAIL: {label} fell "
                   f"{1 - cur_r / base_r:.1%} (> {args.ratio_tolerance:.0%}) "
                   "— this ratio is measured within one run, so hardware "
                   "differences do not excuse it", file=sys.stderr)

@@ -18,6 +18,11 @@ Measures, in one run:
   in the measured trajectory.
 * ``ppo_update.sec_per_iter`` — one PPO minibatch iteration (policy or
   value step) on the batch the vectorised rollout collected.
+* ``ppo_update.dense_sec_per_iter`` / ``sparse_sec_per_iter`` /
+  ``sparse_speedup`` — one policy step through the dense padded-logits
+  reference vs the segment-batched sparse autograd path, on identical
+  pre-drawn minibatches; the ratio is hardware-independent and gated in
+  CI like ``rollout.speedup``.
 * ``runtime.*`` — worker scaling of the PR-2 execution runtime: rollout
   throughput through :class:`ShardedVecSchedGym` and evaluation
   throughput through :func:`repro.api.evaluate`, at 1/2/4 process
@@ -50,6 +55,7 @@ import json
 import os
 import platform
 import time
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -269,13 +275,49 @@ def bench_scenarios(n_jobs):
     return out
 
 
-def bench_ppo_update(agent, buffer, ppo_cfg):
+def bench_ppo_update(agent, buffer, ppo_cfg, max_obsv, job_features):
+    """Full-update timing plus a dense-vs-sparse policy-step comparison.
+
+    The comparison runs two fresh same-seed agents over identical
+    pre-drawn minibatch index lists, so the update arithmetic (padded
+    dense logits vs segment-batched sparse autograd) is the only thing
+    that differs between the two timings.
+    """
     data = buffer.get()
     start = time.perf_counter()
     stats = agent.update(data)
     elapsed = time.perf_counter() - start
     iters = stats.pi_iters_run + ppo_cfg.train_v_iters
-    return elapsed / iters, len(data["actions"])
+    report = {
+        "sec_per_iter": elapsed / iters,
+        "batch_steps": len(data["actions"]),
+    }
+
+    n = len(data["actions"])
+    batch = min(ppo_cfg.minibatch_size, n)
+    rng = np.random.default_rng(11)
+    idx_lists = [
+        rng.choice(n, size=batch, replace=False) if batch < n else np.arange(n)
+        for _ in range(ppo_cfg.train_pi_iters)
+    ]
+    for path in ("dense", "sparse"):
+        path_agent = PPOAgent(
+            make_policy("kernel", max_obsv, job_features, seed=0),
+            ValueMLP(max_obsv, job_features, seed=1),
+            replace(ppo_cfg, update_path=path),
+            seed=0,
+        )
+        path_agent._policy_step(data, idx_lists[0])  # warm-up
+        start = time.perf_counter()
+        for idx in idx_lists:
+            path_agent._policy_step(data, idx)
+        report[f"{path}_sec_per_iter"] = (
+            (time.perf_counter() - start) / len(idx_lists)
+        )
+    report["sparse_speedup"] = (
+        report["dense_sec_per_iter"] / report["sparse_sec_per_iter"]
+    )
+    return report
 
 
 def main(argv=None):
@@ -354,9 +396,15 @@ def main(argv=None):
     rollout_vectorized(agent, env_cfg, trace.max_procs, sequences, n_envs,
                        np.random.default_rng(1), buffer=buffer)
 
-    sec_per_iter, batch_steps = bench_ppo_update(agent, buffer, ppo_cfg)
-    print(f"[perf] ppo update: {sec_per_iter * 1e3:.1f} ms/iter "
-          f"(batch of {batch_steps} steps)")
+    ppo_report = bench_ppo_update(
+        agent, buffer, ppo_cfg, max_obsv, env_cfg.job_features
+    )
+    print(f"[perf] ppo update: {ppo_report['sec_per_iter'] * 1e3:.1f} ms/iter "
+          f"(batch of {ppo_report['batch_steps']} steps)")
+    print(f"[perf]   policy step: dense "
+          f"{ppo_report['dense_sec_per_iter'] * 1e3:.1f} ms vs sparse "
+          f"{ppo_report['sparse_sec_per_iter'] * 1e3:.1f} ms "
+          f"({ppo_report['sparse_speedup']:.2f}x)")
 
     runtime_report = bench_runtime_scaling(
         agent, env_cfg, trace, sequences, n_envs,
@@ -391,7 +439,7 @@ def main(argv=None):
         },
         "engine": {"events_per_sec": events_per_sec},
         "scenarios": scenario_report,
-        "ppo_update": {"sec_per_iter": sec_per_iter, "batch_steps": batch_steps},
+        "ppo_update": ppo_report,
         "runtime": runtime_report,
         "platform": {
             "python": platform.python_version(),

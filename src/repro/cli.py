@@ -160,6 +160,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--swf-dir", default=None)
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="shard rollout envs over N worker processes (1 = serial)")
+    p.add_argument("--update-path", choices=["dense", "sparse"],
+                   default="dense",
+                   help="PPO update arithmetic: dense padded logits "
+                        "(reference) or segment-batched sparse autograd "
+                        "(kernel policy only, much faster at large "
+                        "MAX_OBSV_SIZE)")
+    p.add_argument("--grad-workers", type=_positive_int, default=1,
+                   help="shard minibatch gradients over N worker processes "
+                        "(1 = in-process backward)")
     p.add_argument("-o", "--output", required=True)
 
     p = sub.add_parser(
@@ -386,7 +395,7 @@ def _cmd_train(args) -> int:
         metric=args.metric,
         policy_preset=args.policy,
         env_config=EnvConfig(max_obsv_size=args.obsv),
-        ppo_config=PPOConfig(),
+        ppo_config=PPOConfig(update_path=args.update_path),
         train_config=TrainConfig(
             epochs=args.epochs,
             trajectories_per_epoch=args.trajectories,
@@ -394,6 +403,7 @@ def _cmd_train(args) -> int:
             seed=args.seed,
             use_trajectory_filter=args.filter,
             runtime=RuntimeConfig.from_workers(args.workers),
+            grad_workers=args.grad_workers,
             scenario=scenario_cfg,
         ),
     )

@@ -166,6 +166,9 @@ class EnvConfig:
 class PPOConfig:
     """PPO-clip hyper-parameters (SpinningUp defaults the paper used)."""
 
+    #: accepted policy-update implementations
+    UPDATE_PATHS = ("dense", "sparse")
+
     clip_ratio: float = 0.2
     pi_lr: float = 1e-3           # paper: "the learning rate is 1e-3"
     vf_lr: float = 1e-3
@@ -177,12 +180,24 @@ class PPOConfig:
     entropy_coef: float = 0.0
     max_grad_norm: float = 10.0
     minibatch_size: int = 4096    # bounds peak memory of each update pass
+    #: policy-step implementation: ``"dense"`` forwards the full padded
+    #: ``(batch, M)`` slot block (the reference path), ``"sparse"``
+    #: forwards only the valid rows through the segment-batched autograd
+    #: ops — same gradients to round-off, cost scales with valid rows.
+    #: Sparse needs a policy exposing ``score_rows_grad`` (the kernel
+    #: preset); the agent fails loudly at construction otherwise.
+    update_path: str = "dense"
 
     def __post_init__(self) -> None:
         if not 0 < self.clip_ratio < 1:
             raise ValueError("clip_ratio must be in (0, 1)")
         if not 0 <= self.gamma <= 1 or not 0 <= self.lam <= 1:
             raise ValueError("gamma and lam must be in [0, 1]")
+        if self.update_path not in self.UPDATE_PATHS:
+            raise ValueError(
+                f"update_path must be one of {self.UPDATE_PATHS}, "
+                f"got {self.update_path!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -199,6 +214,11 @@ class TrainConfig:
     vectorized: bool = True       # collect rollouts through the vec env
     n_envs: int = 16              # environments stepped in lock-step
     runtime: RuntimeConfig = RuntimeConfig()  # where env shards execute
+    #: shard minibatch gradient computation over this many workers
+    #: (> 1 spawns a process pool holding policy/value replicas; gradients
+    #: are reduced in the parent before each optimizer step).  1 = the
+    #: plain in-process update.
+    grad_workers: int = 1
     #: train inside a named scenario (workload + cluster); None = caller
     #: supplies the trace and cluster explicitly
     scenario: ScenarioConfig | None = None
@@ -208,6 +228,10 @@ class TrainConfig:
             raise ValueError("training sizes must be positive")
         if self.n_envs <= 0:
             raise ValueError("n_envs must be positive")
+        if self.grad_workers < 1:
+            raise ValueError(
+                f"grad_workers must be >= 1, got {self.grad_workers}"
+            )
         if not isinstance(self.runtime, RuntimeConfig):
             raise TypeError("runtime must be a RuntimeConfig")
         if self.scenario is not None and not isinstance(self.scenario, ScenarioConfig):

@@ -10,12 +10,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, gather_rows, segment_logsumexp, segment_sum
 
 __all__ = [
     "masked_log_softmax",
     "log_prob_of",
     "entropy",
+    "segment_log_softmax",
+    "segment_log_prob_of",
+    "segment_entropy",
+    "valid_rows",
+    "flat_action_index",
     "sample_action",
     "sample_action_batch",
     "greedy_action",
@@ -59,6 +64,89 @@ def entropy(log_probs: Tensor) -> Tensor:
     """
     p = log_probs.exp()
     per_row = -(p * log_probs).sum(axis=-1)
+    return per_row.mean()
+
+
+# ---------------------------------------------------------------------------
+# segment-batched (sparse) twins
+# ---------------------------------------------------------------------------
+# The dense helpers above operate on a padded ``(B, M)`` logits block where
+# masked slots carry ~-1e9.  The sparse twins operate on a *flat* vector of
+# only the valid slots, segmented per observation by a CSR ``indptr`` — the
+# update-path counterpart of the deploy-side ``score_rows`` fast path.
+# Forward values agree with the dense helpers to float64 round-off (the
+# masked slots contribute exactly zero probability in both).
+
+
+def valid_rows(masks: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a boolean ``(B, M)`` mask into its valid-slot coordinates.
+
+    Returns ``(batch_idx, slot_idx, indptr)``: the row/column of every
+    True entry in row-major order (so entries of one observation are
+    contiguous) plus the CSR segment splits (``indptr[b]:indptr[b+1]``
+    spans observation ``b``'s valid slots).
+    """
+    masks = np.asarray(masks, dtype=bool)
+    batch_idx, slot_idx = np.nonzero(masks)
+    counts = masks.sum(axis=-1)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    return batch_idx, slot_idx, indptr
+
+
+def flat_action_index(
+    masks: np.ndarray, actions: np.ndarray, indptr: np.ndarray
+) -> np.ndarray:
+    """Position of each chosen action inside the flat valid-slot vector.
+
+    ``actions[b]`` must be a valid slot of row ``b``; the flat position is
+    ``indptr[b]`` plus the number of valid slots before it in that row.
+    """
+    masks = np.asarray(masks, dtype=bool)
+    actions = np.asarray(actions, dtype=np.int64)
+    batch = np.arange(masks.shape[0])
+    if not masks[batch, actions].all():
+        bad = batch[~masks[batch, actions]]
+        raise ValueError(f"actions at rows {bad.tolist()} are masked out")
+    offsets = np.cumsum(masks, axis=-1)[batch, actions] - 1
+    return indptr[:-1] + offsets
+
+
+def segment_log_softmax(scores: Tensor, indptr: np.ndarray) -> Tensor:
+    """Log-softmax within each segment of a flat score vector.
+
+    The sparse twin of :func:`masked_log_softmax`: ``scores`` holds only
+    the valid slots (``(K,)``), segments are observations.  Every segment
+    must be non-empty — the same "at least one valid action" contract the
+    dense path enforces via its mask check.
+    """
+    lengths = np.diff(np.asarray(indptr, dtype=np.int64))
+    if (lengths <= 0).any():
+        raise ValueError("every row must have at least one valid action")
+    log_norm = segment_logsumexp(scores, indptr)           # (B,)
+    seg_ids = np.repeat(np.arange(lengths.size), lengths)  # (K,)
+    return scores - gather_rows(log_norm, seg_ids)
+
+
+def segment_log_prob_of(
+    log_probs: Tensor, masks: np.ndarray, actions: np.ndarray, indptr: np.ndarray
+) -> Tensor:
+    """Per-observation log-probability of the chosen actions.
+
+    Sparse twin of :func:`log_prob_of`: ``log_probs`` is the flat ``(K,)``
+    output of :func:`segment_log_softmax`; ``actions`` index the original
+    (padded) slot axis and are translated to flat positions.
+    """
+    return gather_rows(log_probs, flat_action_index(masks, actions, indptr))
+
+
+def segment_entropy(log_probs: Tensor, indptr: np.ndarray) -> Tensor:
+    """Mean categorical entropy over segments (sparse twin of :func:`entropy`).
+
+    Masked slots are simply absent here; in the dense path their
+    ``p·log p`` contribution underflows to exactly 0, so both paths
+    compute the same per-row entropies.
+    """
+    per_row = -segment_sum(log_probs.exp() * log_probs, indptr)
     return per_row.mean()
 
 

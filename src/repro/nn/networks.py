@@ -91,6 +91,21 @@ class KernelPolicy(Module):
         x = Tensor(np.asarray(rows, dtype=np.float64))
         return self.kernel(x).numpy().reshape(-1)
 
+    def score_rows_grad(self, rows: np.ndarray) -> Tensor:
+        """Gradient-capable twin of :meth:`score_rows`, ``(K, F) -> (K,)``.
+
+        The segment-batched PPO update forwards only the valid job rows
+        of a minibatch through this entry point and backpropagates
+        through the returned graph — same arithmetic as :meth:`forward`
+        on the padded batch, minus the padded rows.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.job_features:
+            raise ValueError(
+                f"expected (K, {self.job_features}) rows, got {rows.shape}"
+            )
+        return self.kernel(Tensor(rows)).reshape(-1)
+
 
 class MLPPolicy(Module):
     """Flat MLP over the concatenated observation (Table IV v1/v2/v3).

@@ -21,7 +21,16 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "Parameter", "no_grad"]
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "no_grad",
+    "gather_rows",
+    "scatter_rows",
+    "segment_sum",
+    "segment_max",
+    "segment_logsumexp",
+]
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -422,3 +431,161 @@ class Parameter(Tensor):
     def __init__(self, data):
         super().__init__(data, requires_grad=True)
         self.requires_grad = True  # immune to no_grad at construction time
+
+
+# ---------------------------------------------------------------------------
+# sparse / segment ops (the CSR scatter-segment idiom)
+# ---------------------------------------------------------------------------
+# These power the segment-batched PPO update: a flat (total_valid_rows, F)
+# matrix plus an ``indptr`` segment-split vector replaces a padded dense
+# (batch, M) block, so forward/backward cost scales with the number of
+# *valid* rows, not with the padding.  ``indptr`` follows the CSR
+# convention: segment ``s`` spans ``x[indptr[s]:indptr[s+1]]``; it is plain
+# integer data and never receives gradients.
+
+
+def _check_indptr(indptr, n_rows: int) -> np.ndarray:
+    indptr = np.asarray(indptr, dtype=np.int64)
+    if indptr.ndim != 1 or indptr.size < 2:
+        raise ValueError("indptr must be 1-D with at least two entries")
+    if indptr[0] != 0 or indptr[-1] != n_rows:
+        raise ValueError(
+            f"indptr must start at 0 and end at {n_rows}, got "
+            f"[{indptr[0]}, ..., {indptr[-1]}]"
+        )
+    if (np.diff(indptr) < 0).any():
+        raise ValueError("indptr must be non-decreasing")
+    return indptr
+
+
+def _segment_ids(indptr: np.ndarray) -> np.ndarray:
+    """Row -> segment index, ``(K,)`` (empty segments contribute no rows)."""
+    return np.repeat(np.arange(indptr.size - 1), np.diff(indptr))
+
+
+def gather_rows(x: Tensor, index) -> Tensor:
+    """Select rows along axis 0: ``out[k] = x[index[k]]``.
+
+    The VJP scatter-adds the incoming gradient back to the source rows,
+    so duplicate indices accumulate — gathering is how a per-segment
+    quantity (a normaliser, a shift) is broadcast back to its rows with
+    gradients intact.
+    """
+    x = Tensor._lift(x)
+    index = np.asarray(index, dtype=np.int64)
+    out_data = x.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            full = np.zeros_like(x.data)
+            np.add.at(full, index, grad)
+            x._accumulate(full)
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def scatter_rows(x: Tensor, index, n_rows: int) -> Tensor:
+    """Scatter rows into a zero matrix: ``out[index[k]] += x[k]``.
+
+    ``out`` has ``n_rows`` rows (remaining dims follow ``x``); rows never
+    written stay zero.  Duplicate indices sum.  The VJP is a gather — the
+    exact adjoint pair of :func:`gather_rows`.
+    """
+    x = Tensor._lift(x)
+    index = np.asarray(index, dtype=np.int64)
+    if index.ndim != 1 or index.size != x.data.shape[0]:
+        raise ValueError(
+            f"index must be 1-D with one entry per row of x, got "
+            f"{index.shape} for {x.data.shape}"
+        )
+    if index.size and (index.min() < 0 or index.max() >= n_rows):
+        raise ValueError(f"index out of range [0, {n_rows})")
+    out_data = np.zeros((n_rows,) + x.data.shape[1:], dtype=np.float64)
+    np.add.at(out_data, index, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad[index])
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def segment_sum(x: Tensor, indptr) -> Tensor:
+    """Per-segment sum along axis 0: ``out[s] = x[indptr[s]:indptr[s+1]].sum(0)``.
+
+    Empty segments sum to zero.  The VJP repeats each segment's gradient
+    over that segment's rows.
+    """
+    x = Tensor._lift(x)
+    n = x.data.shape[0]
+    indptr = _check_indptr(indptr, n)
+    lengths = np.diff(indptr)
+    # reduceat quirks: an empty segment returns x[start] instead of 0 and a
+    # start == n is out of bounds, so reduce over the non-empty segments
+    # only (their starts are strictly increasing and share the boundaries
+    # of the full indptr) and leave empty ones at the zero identity.
+    nonempty = lengths > 0
+    out_data = np.zeros((lengths.size,) + x.data.shape[1:])
+    if nonempty.any():
+        out_data[nonempty] = np.add.reduceat(
+            x.data, indptr[:-1][nonempty], axis=0
+        )
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(np.repeat(grad, lengths, axis=0))
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def segment_max(x: Tensor, indptr) -> Tensor:
+    """Per-segment maximum along axis 0 (empty segments read ``-inf``).
+
+    The VJP routes each segment's gradient to the rows attaining the
+    maximum (ties share the full gradient, like :meth:`Tensor.where`
+    against an equality condition).
+    """
+    x = Tensor._lift(x)
+    n = x.data.shape[0]
+    indptr = _check_indptr(indptr, n)
+    lengths = np.diff(indptr)
+    nonempty = lengths > 0
+    out_data = np.full((lengths.size,) + x.data.shape[1:], -np.inf)
+    if nonempty.any():
+        out_data[nonempty] = np.maximum.reduceat(
+            x.data, indptr[:-1][nonempty], axis=0
+        )
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        winners = x.data == np.repeat(out_data, lengths, axis=0)
+        x._accumulate(np.repeat(grad, lengths, axis=0) * winners)
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def segment_logsumexp(x: Tensor, indptr) -> Tensor:
+    """Per-segment ``log(sum(exp(x)))``, stability-shifted by the segment max.
+
+    The shift is detached (a constant w.r.t. gradients — it cancels
+    exactly in the true derivative), so the VJP is the in-segment
+    softmax: ``d out[s] / d x[k] = exp(x[k] - out[s])``.  Segments must
+    be non-empty: an empty segment has no finite logsumexp.
+    """
+    x = Tensor._lift(x)
+    n = x.data.shape[0]
+    indptr = _check_indptr(indptr, n)
+    lengths = np.diff(indptr)
+    if (lengths == 0).any():
+        raise ValueError("segment_logsumexp requires non-empty segments")
+    shift = np.maximum.reduceat(x.data, indptr[:-1], axis=0)
+    shifted = x.data - np.repeat(shift, lengths, axis=0)
+    out_data = np.log(np.add.reduceat(np.exp(shifted), indptr[:-1], axis=0)) + shift
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            softmax = np.exp(x.data - np.repeat(out_data, lengths, axis=0))
+            x._accumulate(np.repeat(grad, lengths, axis=0) * softmax)
+
+    return Tensor._from_op(out_data, (x,), backward)

@@ -13,30 +13,40 @@ peak memory stays bounded on full paper-scale batches (25,600 steps).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Sequence
 
 import numpy as np
 
-from repro.config import PPOConfig
+from repro.config import PPOConfig, RuntimeConfig
 from repro.nn import (
     Adam,
     Module,
     Tensor,
     clip_grad_norm,
-    entropy,
     log_prob_of,
     masked_log_softmax,
     no_grad,
     sample_action,
     sample_action_batch,
+    segment_log_prob_of,
+    segment_log_softmax,
+    segment_sum,
+    valid_rows,
 )
+from repro.runtime.grad import GradientReducer
 
 __all__ = ["PPOAgent", "UpdateStats"]
 
 
 @dataclass(frozen=True)
 class UpdateStats:
-    """Diagnostics of one epoch update."""
+    """Diagnostics of one epoch update.
+
+    ``kl`` is the mean sampled KL across the minibatch iterations this
+    epoch actually ran; ``kl_last`` keeps the final iteration's value
+    (what the early-stop check saw last).
+    """
 
     policy_loss: float
     value_loss: float
@@ -44,10 +54,86 @@ class UpdateStats:
     entropy: float
     pi_iters_run: int
     early_stopped: bool
+    kl_last: float = float("nan")
+
+
+def _policy_terms(
+    policy: Module,
+    batch: dict[str, np.ndarray],
+    clip_ratio: float,
+    update_path: str,
+) -> tuple[Tensor, Tensor, Tensor]:
+    """Per-row PPO-clip terms: ``(surrogate, entropy_rows, logp)``.
+
+    The one forward pass both update paths share.  ``update_path="dense"``
+    scores the padded ``(B, M)`` block and masks; ``"sparse"`` gathers the
+    K valid rows across the minibatch, forwards only those through the
+    policy's gradient-capable row scorer, and works on the flat vector
+    with CSR segment ops — no ``-1e9`` padding anywhere.  Both paths
+    produce the same values to float64 round-off.
+    """
+    obs = batch["obs"]
+    masks = batch["masks"]
+    actions = batch["actions"]
+    if update_path == "sparse":
+        b_idx, s_idx, indptr = valid_rows(masks)
+        scores = policy.score_rows_grad(obs[b_idx, s_idx])
+        log_probs = segment_log_softmax(scores, indptr)
+        logp = segment_log_prob_of(log_probs, masks, actions, indptr)
+        ent_rows = -segment_sum(log_probs.exp() * log_probs, indptr)
+    else:
+        logits = policy(obs, masks)
+        log_probs = masked_log_softmax(logits, masks)
+        logp = log_prob_of(log_probs, actions)
+        ent_rows = -(log_probs.exp() * log_probs).sum(axis=-1)
+    ratio = (logp - Tensor(batch["log_probs"])).exp()
+    adv_t = Tensor(batch["advantages"])
+    clipped = ratio.clip(1.0 - clip_ratio, 1.0 + clip_ratio) * adv_t
+    surrogate = (ratio * adv_t).minimum(clipped)
+    return surrogate, ent_rows, logp
+
+
+def _policy_shard_loss(
+    policy: Module,
+    shard: dict[str, np.ndarray],
+    clip_ratio: float = 0.2,
+    entropy_coef: float = 0.0,
+    update_path: str = "dense",
+) -> tuple[Tensor, dict[str, float]]:
+    """Sum-reduced policy loss on one shard (GradientReducer contract)."""
+    surrogate, ent_rows, logp = _policy_terms(
+        policy, shard, clip_ratio, update_path
+    )
+    loss_sum = -surrogate.sum()
+    ent_sum = ent_rows.sum()
+    if entropy_coef > 0:
+        loss_sum = loss_sum - entropy_coef * ent_sum
+    aux = {
+        "loss": float(loss_sum.item()),
+        "kl": float(np.sum(shard["log_probs"] - logp.numpy())),
+        "entropy": float(ent_sum.item()),
+    }
+    return loss_sum, aux
+
+
+def _value_shard_loss(
+    value: Module, shard: dict[str, np.ndarray]
+) -> tuple[Tensor, dict[str, float]]:
+    """Sum-reduced value-regression loss on one shard."""
+    values = value(shard["obs"])
+    loss_sum = ((values - Tensor(shard["returns"])) ** 2.0).sum()
+    return loss_sum, {"loss": float(loss_sum.item())}
 
 
 class PPOAgent:
-    """Actor-critic agent with PPO-clip updates."""
+    """Actor-critic agent with PPO-clip updates.
+
+    ``config.update_path`` selects the dense reference update or the
+    segment-batched sparse one (needs a policy exposing
+    ``score_rows_grad``, i.e. :class:`KernelPolicy`).  ``grad_runtime``
+    shards minibatch gradients across runtime workers (data-parallel;
+    ``None`` keeps the classic in-process backward pass).
+    """
 
     def __init__(
         self,
@@ -55,13 +141,39 @@ class PPOAgent:
         value: Module,
         config: PPOConfig | None = None,
         seed: int = 0,
+        grad_runtime: RuntimeConfig | None = None,
     ):
         self.policy = policy
         self.value = value
         self.config = config or PPOConfig()
+        if self.config.update_path == "sparse" and not callable(
+            getattr(policy, "score_rows_grad", None)
+        ):
+            raise TypeError(
+                "update_path='sparse' requires a policy with a "
+                f"score_rows_grad() method; {type(policy).__name__} scores "
+                "jobs jointly and has no per-row twin — use the dense path"
+            )
         self.rng = np.random.default_rng(seed)
         self.pi_optimizer = Adam(policy.parameters(), lr=self.config.pi_lr)
         self.v_optimizer = Adam(value.parameters(), lr=self.config.vf_lr)
+        self._grad_runtime = grad_runtime
+        self._grad_reducer: GradientReducer | None = None
+
+    def _reducer(self) -> GradientReducer:
+        """Lazily build the gradient reducer and install module replicas."""
+        if self._grad_reducer is None:
+            self._grad_reducer = GradientReducer(self._grad_runtime)
+            self._grad_reducer.install(
+                {"policy": self.policy, "value": self.value}
+            )
+        return self._grad_reducer
+
+    def close(self) -> None:
+        """Release the gradient-reduction workers (no-op when unsharded)."""
+        if self._grad_reducer is not None:
+            self._grad_reducer.close()
+            self._grad_reducer = None
 
     # ------------------------------------------------------------------
     # acting
@@ -216,10 +328,11 @@ class PPOAgent:
         return UpdateStats(
             policy_loss=float(np.mean(pi_losses)),
             value_loss=float(np.mean(v_losses)),
-            kl=float(kls[-1]),
+            kl=float(np.mean(kls)),
             entropy=float(np.mean(entropies)),
             pi_iters_run=iters_run,
             early_stopped=early_stopped,
+            kl_last=float(kls[-1]),
         )
 
     def _minibatch_indices(self, n: int, batch_size: int) -> np.ndarray:
@@ -231,22 +344,18 @@ class PPOAgent:
         self, data: dict[str, np.ndarray], idx: np.ndarray
     ) -> tuple[float, float, float]:
         cfg = self.config
-        obs = data["obs"][idx]
-        masks = data["masks"][idx]
-        actions = data["actions"][idx]
-        logp_old = data["log_probs"][idx]
-        adv = data["advantages"][idx]
+        batch = {
+            k: data[k][idx]
+            for k in ("obs", "masks", "actions", "log_probs", "advantages")
+        }
+        if self._grad_runtime is not None:
+            return self._policy_step_sharded(batch)
 
-        logits = self.policy(obs, masks)
-        log_probs = masked_log_softmax(logits, masks)
-        logp = log_prob_of(log_probs, actions)
-
-        ratio = (logp - Tensor(logp_old)).exp()
-        adv_t = Tensor(adv)
-        clipped = ratio.clip(1.0 - cfg.clip_ratio, 1.0 + cfg.clip_ratio) * adv_t
-        surrogate = (ratio * adv_t).minimum(clipped)
+        surrogate, ent_rows, logp = _policy_terms(
+            self.policy, batch, cfg.clip_ratio, cfg.update_path
+        )
         loss = -surrogate.mean()
-        ent = entropy(log_probs)
+        ent = ent_rows.mean()
         if cfg.entropy_coef > 0:
             loss = loss - cfg.entropy_coef * ent
 
@@ -255,11 +364,34 @@ class PPOAgent:
         clip_grad_norm(self.pi_optimizer.params, cfg.max_grad_norm)
         self.pi_optimizer.step()
 
-        kl = float(np.mean(logp_old - logp.numpy()))
+        kl = float(np.mean(batch["log_probs"] - logp.numpy()))
         return float(loss.item()), kl, float(ent.item())
+
+    def _policy_step_sharded(
+        self, batch: dict[str, np.ndarray]
+    ) -> tuple[float, float, float]:
+        cfg = self.config
+        loss_fn = partial(
+            _policy_shard_loss,
+            clip_ratio=cfg.clip_ratio,
+            entropy_coef=cfg.entropy_coef,
+            update_path=cfg.update_path,
+        )
+        grads, aux, n = self._reducer().grad_sums(
+            "policy", self.policy, loss_fn, batch
+        )
+        self._apply_grads(self.pi_optimizer, grads, n)
+        return aux["loss"] / n, aux["kl"] / n, aux["entropy"] / n
 
     def _value_step(self, data: dict[str, np.ndarray], idx: np.ndarray) -> float:
         obs = data["obs"][idx]
+        if self._grad_runtime is not None:
+            batch = {"obs": obs, "returns": data["returns"][idx]}
+            grads, aux, n = self._reducer().grad_sums(
+                "value", self.value, _value_shard_loss, batch
+            )
+            self._apply_grads(self.v_optimizer, grads, n)
+            return aux["loss"] / n
         returns = Tensor(data["returns"][idx])
         values = self.value(obs)
         loss = ((values - returns) ** 2.0).mean()
@@ -268,3 +400,10 @@ class PPOAgent:
         clip_grad_norm(self.v_optimizer.params, self.config.max_grad_norm)
         self.v_optimizer.step()
         return float(loss.item())
+
+    def _apply_grads(self, optimizer: Adam, grads: list, n: int) -> None:
+        """Load mean-loss gradients into the params, clip, and step."""
+        for p, g in zip(optimizer.params, grads):
+            p.grad = g / n
+        clip_grad_norm(optimizer.params, self.config.max_grad_norm)
+        optimizer.step()

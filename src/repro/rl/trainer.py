@@ -50,7 +50,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.config import EnvConfig, PPOConfig, TrainConfig
+from repro.config import EnvConfig, PPOConfig, RuntimeConfig, TrainConfig
 from repro.nn import Module, ValueMLP, make_policy
 from repro.runtime import ShardedVecSchedGym
 from repro.runtime.seeding import stream_rng
@@ -298,7 +298,20 @@ class Trainer:
         seed = self.train_config.seed
         self.policy = policy or make_policy(policy_preset, m, f, seed=seed)
         self.value = ValueMLP(m, f, seed=seed + 1)
-        self.agent = PPOAgent(self.policy, self.value, self.ppo_config, seed=seed)
+        # grad_workers > 1 shards minibatch gradients over a process pool;
+        # 1 keeps the classic in-process backward (grad_runtime=None).
+        grad_runtime = (
+            RuntimeConfig.from_workers(self.train_config.grad_workers)
+            if self.train_config.grad_workers > 1
+            else None
+        )
+        self.agent = PPOAgent(
+            self.policy,
+            self.value,
+            self.ppo_config,
+            seed=seed,
+            grad_runtime=grad_runtime,
+        )
         self.sampler = SequenceSampler(
             trace, self.train_config.trajectory_length, seed=seed
         )
@@ -539,10 +552,11 @@ class Trainer:
         return float(np.mean(rewards))
 
     def close(self) -> None:
-        """Release rollout workers (a no-op if none were ever spawned)."""
+        """Release rollout and gradient workers (no-op if never spawned)."""
         if self._vec_env is not None:
             self._vec_env.close()
             self._vec_env = None
+        self.agent.close()
 
     def __enter__(self) -> "Trainer":
         return self

@@ -20,6 +20,7 @@ keeps process-pool rollouts bit-identical to serial ones.
 """
 
 from .backend import ExecutionBackend, WorkerError, make_backend
+from .grad import GradientReducer, shard_bounds
 from .process_pool import ProcessPoolBackend
 from .seeding import derive_streams, stream_rng, task_seed
 from .serial import SerialBackend
@@ -32,6 +33,8 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "ShardedVecSchedGym",
+    "GradientReducer",
+    "shard_bounds",
     "stream_rng",
     "derive_streams",
     "task_seed",

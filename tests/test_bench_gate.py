@@ -1,9 +1,10 @@
 """Tests for the CI bench-regression gate (benchmarks/perf/check_regression.py).
 
-The gate has two checks: absolute rollout throughput (gates only on
-comparable hardware) and the vectorization speedup ratio (measured within
-one run, so it gates on every platform).  These tests pin the decision
-table so the CI step stays a real gate rather than a decorative one.
+The gate has two kinds of checks: absolute rollout throughput (gates only
+on comparable hardware) and the within-run speedup ratios — rollout
+vectorization and the sparse-vs-dense PPO update — which gate on every
+platform.  These tests pin the decision table so the CI step stays a real
+gate rather than a decorative one.
 """
 
 import importlib.util
@@ -19,7 +20,7 @@ _spec.loader.exec_module(check_regression)
 
 
 def bench_doc(steps_per_sec, speedup, python="3.11.7", cpu_count=4,
-              machine="x86_64"):
+              machine="x86_64", sparse_speedup=3.0):
     return {
         "scales": {
             "smoke": {
@@ -28,6 +29,10 @@ def bench_doc(steps_per_sec, speedup, python="3.11.7", cpu_count=4,
                     "vectorized_steps_per_sec": steps_per_sec,
                     "sequential_steps_per_sec": steps_per_sec / speedup,
                     "speedup": speedup,
+                },
+                "ppo_update": {
+                    "sec_per_iter": 0.01,
+                    "sparse_speedup": sparse_speedup,
                 },
                 "platform": {
                     "python": python,
@@ -107,6 +112,25 @@ class TestSpeedupRatioGate:
         base = bench_doc(30000, 5.0)
         del base["scales"]["smoke"]["rollout"]["speedup"]
         assert gate(base, bench_doc(29000, 5.0)) == 0
+
+
+class TestSparseSpeedupGate:
+    def test_sparse_collapse_fails_even_cross_platform(self, gate):
+        base = bench_doc(30000, 5.0, cpu_count=1, sparse_speedup=3.0)
+        cur = bench_doc(29000, 5.0, cpu_count=4, sparse_speedup=1.1)
+        assert gate(base, cur) == 1
+
+    def test_sparse_within_tolerance_passes(self, gate):
+        base = bench_doc(30000, 5.0, sparse_speedup=3.0)
+        cur = bench_doc(29000, 5.0, sparse_speedup=2.0)  # 33% drop < 40%
+        assert gate(base, cur) == 0
+
+    def test_pre_sparse_baseline_skips_check(self, gate):
+        # Baselines recorded before the sparse path existed have no
+        # ppo_update.sparse_speedup entry — first run seeds it.
+        base = bench_doc(30000, 5.0)
+        del base["scales"]["smoke"]["ppo_update"]["sparse_speedup"]
+        assert gate(base, bench_doc(29000, 5.0, sparse_speedup=2.5)) == 0
 
 
 class TestInputs:

@@ -1,0 +1,238 @@
+"""Segment-batched sparse PPO update and data-parallel gradient sharding:
+path equivalence, the gradient-reduction runtime, and the KL-reporting fix."""
+
+import numpy as np
+import pytest
+
+from repro.config import EnvConfig, PPOConfig, RuntimeConfig, TrainConfig
+from repro.nn import KernelPolicy, MLPPolicy, Tensor, ValueMLP
+from repro.rl import PPOAgent, Trainer
+from repro.rl.ppo import UpdateStats, _policy_terms
+from repro.runtime import GradientReducer, shard_bounds
+from repro.workloads import load_trace
+
+F = 7
+
+
+def synthetic_data(n=48, m=16, seed=0):
+    """A PPO update batch with random (but internally consistent) masks."""
+    rng = np.random.default_rng(seed)
+    masks = rng.random((n, m)) < 0.5
+    masks[np.arange(n), rng.integers(0, m, n)] = True
+    return {
+        "obs": rng.standard_normal((n, m, F)),
+        "masks": masks,
+        "actions": np.array([rng.choice(np.flatnonzero(mk)) for mk in masks]),
+        "log_probs": -np.abs(rng.standard_normal(n)) - 0.5,
+        "advantages": rng.standard_normal(n),
+        "returns": rng.standard_normal(n),
+    }
+
+
+def make_agent(update_path="dense", m=16, grad_runtime=None, **ppo_kwargs):
+    policy = KernelPolicy(F, hidden=(8, 8), seed=7)
+    value = ValueMLP(m, F, hidden=(16, 16), seed=8)
+    cfg = PPOConfig(update_path=update_path, **ppo_kwargs)
+    return PPOAgent(policy, value, cfg, seed=0, grad_runtime=grad_runtime)
+
+
+class TestSparsePath:
+    def test_sparse_requires_score_rows_grad(self):
+        policy = MLPPolicy(16, F, seed=0)
+        value = ValueMLP(16, F, seed=1)
+        with pytest.raises(TypeError, match="score_rows_grad"):
+            PPOAgent(policy, value, PPOConfig(update_path="sparse"))
+
+    def test_config_rejects_unknown_path(self):
+        with pytest.raises(ValueError):
+            PPOConfig(update_path="blocked")
+
+    def test_forward_parity(self):
+        data = synthetic_data()
+        policy = KernelPolicy(F, hidden=(8, 8), seed=7)
+        dense = _policy_terms(policy, data, 0.2, "dense")
+        sparse = _policy_terms(policy, data, 0.2, "sparse")
+        for d, s in zip(dense, sparse):
+            np.testing.assert_allclose(d.numpy(), s.numpy(), atol=1e-10)
+
+    def test_gradient_parity_kernel_preset_m128(self):
+        """Acceptance pin: sparse gradients match dense within 1e-8 on the
+        kernel preset at the paper's MAX_OBSV_SIZE=128."""
+        data = synthetic_data(n=32, m=128, seed=3)
+        policy = KernelPolicy(F, hidden=(32, 16), seed=5)
+
+        def grads(path):
+            policy.zero_grad()
+            surrogate, ent_rows, _ = _policy_terms(policy, data, 0.2, path)
+            (-surrogate.mean() - 0.01 * ent_rows.mean()).backward()
+            return [p.grad.copy() for p in policy.parameters()]
+
+        for gd, gs in zip(grads("dense"), grads("sparse")):
+            np.testing.assert_allclose(gd, gs, atol=1e-8)
+
+    def test_update_stats_parity(self):
+        data = synthetic_data()
+        stats_d = make_agent("dense").update(dict(data))
+        stats_s = make_agent("sparse").update(dict(data))
+        assert stats_d.policy_loss == pytest.approx(stats_s.policy_loss)
+        assert stats_d.kl == pytest.approx(stats_s.kl)
+        assert stats_d.entropy == pytest.approx(stats_s.entropy)
+        assert stats_d.value_loss == stats_s.value_loss  # same value path
+
+
+class TestKLReporting:
+    def test_kl_is_mean_and_kl_last_is_final(self, monkeypatch):
+        """Regression: stats.kl used to report only the LAST minibatch's
+        KL; it must be the mean across the iterations that ran."""
+        agent = make_agent(train_pi_iters=3, train_v_iters=1, target_kl=1e9)
+        scripted = iter([(0.5, 0.1, 1.0), (0.4, 0.2, 1.0), (0.3, 0.6, 1.0)])
+        monkeypatch.setattr(
+            agent, "_policy_step", lambda data, idx: next(scripted)
+        )
+        monkeypatch.setattr(agent, "_value_step", lambda data, idx: 0.0)
+        stats = agent.update(synthetic_data())
+        assert stats.kl == pytest.approx(np.mean([0.1, 0.2, 0.6]))
+        assert stats.kl_last == pytest.approx(0.6)
+
+    def test_early_stop_still_uses_per_iter_kl(self, monkeypatch):
+        agent = make_agent(train_pi_iters=5, train_v_iters=1, target_kl=0.1)
+        kls = iter([0.01, 0.9, 0.01, 0.01, 0.01])
+        monkeypatch.setattr(
+            agent, "_policy_step", lambda data, idx: (0.0, next(kls), 0.0)
+        )
+        monkeypatch.setattr(agent, "_value_step", lambda data, idx: 0.0)
+        stats = agent.update(synthetic_data())
+        assert stats.early_stopped and stats.pi_iters_run == 2
+        assert stats.kl_last == pytest.approx(0.9)
+
+    def test_old_stats_dicts_still_load(self):
+        """Checkpoints written before kl_last existed must round-trip."""
+        old = {"policy_loss": 0.1, "value_loss": 0.2, "kl": 0.3,
+               "entropy": 0.4, "pi_iters_run": 5, "early_stopped": False}
+        stats = UpdateStats(**old)
+        assert np.isnan(stats.kl_last)
+
+
+class TestShardBounds:
+    def test_partition_covers_and_is_contiguous(self):
+        bounds = shard_bounds(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_never_more_shards_than_rows(self):
+        assert shard_bounds(2, 8) == [(0, 1), (1, 2)]
+
+    def test_even_split(self):
+        assert shard_bounds(8, 2) == [(0, 4), (4, 8)]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            shard_bounds(0, 2)
+
+
+def _sum_loss(module, shard):
+    out = module(shard["x"])
+    loss = (out ** 2.0).sum()
+    return loss, {"loss": float(loss.item())}
+
+
+class TestGradientReducer:
+    def test_requires_install(self):
+        reducer = GradientReducer(RuntimeConfig())
+        policy = KernelPolicy(F, seed=0)
+        with pytest.raises(RuntimeError, match="install"):
+            reducer.grad_sums("policy", policy, _sum_loss, {"x": np.ones(3)})
+
+    def test_rejects_mismatched_batch_lengths(self):
+        with GradientReducer(RuntimeConfig()) as reducer:
+            policy = KernelPolicy(F, seed=0)
+            reducer.install({"policy": policy})
+            with pytest.raises(ValueError, match="disagree"):
+                reducer.grad_sums(
+                    "policy", policy, _sum_loss,
+                    {"a": np.ones(3), "b": np.ones(4)},
+                )
+
+    def test_serial_matches_process_bitwise_at_fixed_workers(self):
+        """Same shard partition + same reduction order ⇒ the backend is
+        a pure throughput knob, like the rollout runtime."""
+        data = synthetic_data()
+        agents = [
+            make_agent("sparse", grad_runtime=RuntimeConfig(
+                backend=backend, workers=2))
+            for backend in ("serial", "process")
+        ]
+        try:
+            stats = [a.update(dict(data)) for a in agents]
+            assert stats[0] == stats[1]
+            for p1, p2 in zip(agents[0].policy.parameters(),
+                              agents[1].policy.parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+            for v1, v2 in zip(agents[0].value.parameters(),
+                              agents[1].value.parameters()):
+                np.testing.assert_array_equal(v1.data, v2.data)
+        finally:
+            for a in agents:
+                a.close()
+
+    def test_sharded_matches_unsharded(self):
+        data = synthetic_data()
+        plain = make_agent("sparse")
+        sharded = make_agent("sparse", grad_runtime=RuntimeConfig(
+            backend="serial", workers=3))
+        try:
+            s0 = plain.update(dict(data))
+            s1 = sharded.update(dict(data))
+            assert s0.policy_loss == pytest.approx(s1.policy_loss, abs=1e-10)
+            assert s0.value_loss == pytest.approx(s1.value_loss, abs=1e-10)
+            for p1, p2 in zip(plain.policy.parameters(),
+                              sharded.policy.parameters()):
+                np.testing.assert_allclose(p1.data, p2.data, atol=1e-8)
+        finally:
+            sharded.close()
+            plain.close()  # no-op: never had workers
+
+    def test_dense_path_shards_too(self):
+        data = synthetic_data()
+        plain = make_agent("dense")
+        sharded = make_agent("dense", grad_runtime=RuntimeConfig(
+            backend="serial", workers=2))
+        try:
+            plain.update(dict(data))
+            sharded.update(dict(data))
+            for p1, p2 in zip(plain.policy.parameters(),
+                              sharded.policy.parameters()):
+                np.testing.assert_allclose(p1.data, p2.data, atol=1e-8)
+        finally:
+            sharded.close()
+
+
+class TestTrainerIntegration:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return load_trace("Lublin-1", n_jobs=400, seed=3)
+
+    def _run(self, trace, update_path, grad_workers):
+        t = Trainer(
+            trace,
+            env_config=EnvConfig(max_obsv_size=8),
+            ppo_config=PPOConfig(
+                update_path=update_path, train_pi_iters=5, train_v_iters=5
+            ),
+            train_config=TrainConfig(
+                epochs=2, trajectories_per_epoch=2, trajectory_length=16,
+                seed=0, grad_workers=grad_workers,
+            ),
+        )
+        try:
+            return t.train().metric_curve()
+        finally:
+            t.close()
+
+    def test_sparse_sharded_matches_dense_serial(self, trace):
+        dense = self._run(trace, "dense", 1)
+        sparse = self._run(trace, "sparse", 2)
+        np.testing.assert_allclose(sparse, dense, rtol=1e-6)
+
+    def test_config_rejects_bad_grad_workers(self):
+        with pytest.raises(ValueError):
+            TrainConfig(grad_workers=0)

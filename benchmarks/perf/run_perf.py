@@ -10,12 +10,15 @@ Measures, in one run:
   forward per step, value estimates deferred to one batched call per
   episode.
 * ``rollout.speedup`` — the ratio (the PR-1 acceptance bar is ≥ 5×).
+* ``rollout.phase_breakdown`` — where vectorised-rollout wall-time goes:
+  env stepping vs policy forwards vs buffer bookkeeping.
 * ``engine.events_per_sec`` — raw discrete-event engine throughput
   (FCFS schedule, no network in the loop).
 * ``scenarios.<name>.events_per_sec`` — the same engine throughput per
   registered scenario (workload × cluster, including the backfilling and
-  memory-constrained variants), so scenario-dependent slowdowns show up
-  in the measured trajectory.
+  memory-constrained variants), plus forced-backfill ``<name>+backfill``
+  twins, so scenario-dependent slowdowns show up in the measured
+  trajectory.
 * ``ppo_update.sec_per_iter`` — one PPO minibatch iteration (policy or
   value step) on the batch the vectorised rollout collected.
 * ``ppo_update.dense_sec_per_iter`` / ``sparse_sec_per_iter`` /
@@ -29,6 +32,11 @@ Measures, in one run:
   workers vs the single-process path.  ``runtime.cpu_count`` records how
   many cores the numbers had to share — on a 1-core box process workers
   can only time-slice, so read scaling figures against it.
+* ``runtime.actor`` — episode-granular actor-rollout throughput
+  (:class:`repro.runtime.ActorRuntime`: in-worker policy inference, one
+  IPC transfer per episode) next to the lock-step floor; the
+  ``async_over_locked_1w`` within-run ratio is hardware-independent and
+  gated in CI.
 
 Results are merged into ``BENCH_perf.json`` (``--out`` overrides) under
 ``scales.<scale>``, one entry per scale preset, so successive PRs have a
@@ -167,29 +175,251 @@ def rollout_vectorized(agent, env_cfg, n_procs, sequences, n_envs, rng, buffer=N
     return steps, time.perf_counter() - start
 
 
-def rollout_sharded(agent, env_cfg, n_procs, sequences, n_envs, rng, runtime):
-    """The PR-1 vectorised rollout loop driven through the PR-2 sharded vec
-    env, so serial-vs-process worker scaling is measured on identical work."""
+def rollout_phase_breakdown(agent, env_cfg, n_procs, sequences, n_envs, rng):
+    """Per-phase wall-time split of a vectorised rollout.
+
+    Times the three constituents separately — env stepping (simulation +
+    observation building), policy forwards (per-step ``act_batch`` plus
+    the per-episode value batch), and trajectory-buffer bookkeeping — so
+    "what is the next rollout bottleneck" is answered by recorded data.
+    """
+    vec = VecSchedGym(n_envs, n_procs, make_reward("bsld"), config=env_cfg)
+    buffer = TrajectoryBuffer()
+    t_env = t_policy = t_buffer = 0.0
+    n = min(n_envs, len(sequences))
+    t0 = time.perf_counter()
+    obs, masks = vec.reset(sequences[:n])
+    vec.queue_sequences(sequences[n:])
+    t_env += time.perf_counter() - t0
+    slot_of_env = list(range(n))
+    next_slot = n
+    while True:
+        active_idx = np.flatnonzero(vec.active)
+        if not len(active_idx):
+            break
+        a_obs = obs[active_idx]
+        a_masks = masks[active_idx]
+        t0 = time.perf_counter()
+        actions, log_probs = agent.act_batch(a_obs, a_masks, rng)
+        t_policy += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        buffer.store_batch(a_obs, a_masks, actions, log_probs,
+                           slots=[slot_of_env[i] for i in active_idx])
+        t_buffer += time.perf_counter() - t0
+        full = np.full(vec.n_envs, -1, dtype=np.int64)
+        full[active_idx] = actions
+        t0 = time.perf_counter()
+        result = vec.step(full)
+        t_env += time.perf_counter() - t0
+        for i in active_idx:
+            if result.dones[i]:
+                slot = slot_of_env[i]
+                t0 = time.perf_counter()
+                values = agent.value_batch(buffer.staged_obs(slot))
+                t_policy += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                buffer.end_slot(slot, result.rewards[i], values=values)
+                t_buffer += time.perf_counter() - t0
+                if result.infos[i].get("auto_reset"):
+                    slot_of_env[i] = next_slot
+                    next_slot += 1
+        obs, masks = result.observations, result.action_masks
+    total = t_env + t_policy + t_buffer
+    return {
+        "env_step_sec": t_env,
+        "policy_forward_sec": t_policy,
+        "buffer_sec": t_buffer,
+        "env_step_frac": t_env / total,
+        "policy_forward_frac": t_policy / total,
+        "buffer_frac": t_buffer / total,
+    }
+
+
+def rollout_sharded(agent, env_cfg, n_procs, sequences, n_envs, rng, runtime,
+                    repeat=5):
+    """The lock-step training collection path driven through the PR-2
+    sharded vec env: per-step ``act_batch`` in the parent, trajectory
+    buffering, and the canonical per-episode value/log-prob targets —
+    the same work per episode as the async actor path, so serial,
+    process, and actor throughput are measured on identical work.
+    Median-of-``repeat`` passes: one pass is a few ms at smoke scale,
+    far inside scheduler noise on a loaded box, and the median (unlike
+    best-of) is not hijacked by a single lucky low-jitter window."""
     vec = ShardedVecSchedGym(n_envs, n_procs, "bsld", config=env_cfg,
                              runtime=runtime)
     try:
-        n = min(n_envs, len(sequences))
-        steps = 0
-        start = time.perf_counter()
-        obs, masks = vec.reset(sequences[:n])
-        vec.queue_sequences(sequences[n:])
-        while True:
-            active_idx = np.flatnonzero(vec.active)
-            if not len(active_idx):
-                break
-            actions, _ = agent.act_batch(obs[active_idx], masks[active_idx], rng)
-            full = np.full(vec.n_envs, -1, dtype=np.int64)
-            full[active_idx] = actions
-            result = vec.step(full)
-            steps += len(active_idx)
-            obs, masks = result.observations, result.action_masks
-        return steps, time.perf_counter() - start
+        times = []
+        for _ in range(repeat):
+            buffer = TrajectoryBuffer()
+            # per-trajectory action streams, as in _collect_vectorized
+            rngs = rng.spawn(len(sequences))
+            n = min(n_envs, len(sequences))
+            steps = 0
+            start = time.perf_counter()
+            obs, masks = vec.reset(sequences[:n])
+            vec.queue_sequences(sequences[n:])
+            slot_of_env = list(range(n))
+            next_slot = n
+            while True:
+                active_idx = np.flatnonzero(vec.active)
+                if not len(active_idx):
+                    break
+                a_obs = obs[active_idx]
+                a_masks = masks[active_idx]
+                actions, log_probs = agent.act_batch(
+                    a_obs, a_masks, [rngs[slot_of_env[i]] for i in active_idx]
+                )
+                buffer.store_batch(a_obs, a_masks, actions, log_probs,
+                                   slots=[slot_of_env[i] for i in active_idx])
+                full = np.full(vec.n_envs, -1, dtype=np.int64)
+                full[active_idx] = actions
+                result = vec.step(full)
+                steps += len(active_idx)
+                for i in active_idx:
+                    if result.dones[i]:
+                        slot = slot_of_env[i]
+                        ep_obs = buffer.staged_obs(slot)
+                        buffer.end_slot(
+                            slot, result.rewards[i],
+                            values=agent.value_batch(ep_obs),
+                            log_probs=agent.episode_log_probs(
+                                ep_obs, buffer.staged_masks(slot),
+                                buffer.staged_actions(slot),
+                            ),
+                        )
+                        if result.infos[i].get("auto_reset"):
+                            slot_of_env[i] = next_slot
+                            next_slot += 1
+                obs, masks = result.observations, result.action_masks
+            times.append(time.perf_counter() - start)
+        if os.environ.get("PERF_DEBUG"):
+            print(f"[perf-debug] sharded reps: {[f'{t*1e3:.1f}ms' for t in times]}")
+        return steps, float(np.median(times))
     finally:
+        vec.close()
+
+
+def rollout_actor(agent, env_cfg, n_procs, sequences, n_envs, runtime,
+                  repeat=5):
+    """Episode-granular actor rollout: envs *and* policy replicas live in
+    the workers, so IPC is at most one trajectory transfer per episode
+    instead of two array transfers per step (the async training path).
+    ``n_envs`` splits across the actors so the pool's total lock-step
+    width matches the sharded collector's.  Median-of-``repeat`` passes,
+    like :func:`rollout_sharded`."""
+    from repro.runtime import ActorRuntime
+
+    workers = max(1, runtime.workers)
+    width = max(1, -(-min(n_envs, len(sequences)) // workers))
+    actors = ActorRuntime(n_procs, "bsld", config=env_cfg, runtime=runtime,
+                          n_envs=width, seed=2)
+    try:
+        actors.install(agent.policy, agent.value)
+        times = []
+        for rep in range(repeat):
+            steps = 0
+            start = time.perf_counter()
+            actors.submit(rep, list(enumerate(sequences)))
+            for _ in range(len(sequences)):
+                steps += actors.drain().steps
+            times.append(time.perf_counter() - start)
+        if os.environ.get("PERF_DEBUG"):
+            print(f"[perf-debug] actor reps: {[f'{t*1e3:.1f}ms' for t in times]}")
+        return steps, float(np.median(times))
+    finally:
+        actors.close()
+
+
+def rollout_locked_vs_actor_1w(agent, env_cfg, n_procs, sequences, n_envs,
+                               repeat=13):
+    """Paired 1-worker probe for the gated async/locked ratio.
+
+    Locked and actor reps alternate inside one loop so each per-rep
+    ratio compares measurements taken milliseconds apart — immune to the
+    CPU-speed drift a shared box shows over the tens of seconds the
+    separate scaling sweeps span.  Returns ``(locked_steps_per_sec,
+    actor_steps_per_sec, ratio)`` with the throughputs as medians and
+    the ratio as the median of the per-rep ratios.
+    """
+    from repro.runtime import ActorRuntime
+
+    runtime = RuntimeConfig(backend="process", workers=1)
+    rng = np.random.default_rng(2)
+    vec = ShardedVecSchedGym(n_envs, n_procs, "bsld", config=env_cfg,
+                             runtime=runtime)
+    width = max(1, min(n_envs, len(sequences)))
+    actors = ActorRuntime(n_procs, "bsld", config=env_cfg,
+                          runtime=RuntimeConfig(backend="process", workers=1),
+                          n_envs=width, seed=2)
+    try:
+        actors.install(agent.policy, agent.value)
+
+        def locked_rep():
+            buffer = TrajectoryBuffer()
+            rngs = rng.spawn(len(sequences))
+            n = min(n_envs, len(sequences))
+            steps = 0
+            start = time.perf_counter()
+            obs, masks = vec.reset(sequences[:n])
+            vec.queue_sequences(sequences[n:])
+            slot_of_env = list(range(n))
+            next_slot = n
+            while True:
+                active_idx = np.flatnonzero(vec.active)
+                if not len(active_idx):
+                    break
+                a_obs = obs[active_idx]
+                a_masks = masks[active_idx]
+                actions, log_probs = agent.act_batch(
+                    a_obs, a_masks, [rngs[slot_of_env[i]] for i in active_idx]
+                )
+                buffer.store_batch(a_obs, a_masks, actions, log_probs,
+                                   slots=[slot_of_env[i] for i in active_idx])
+                full = np.full(vec.n_envs, -1, dtype=np.int64)
+                full[active_idx] = actions
+                result = vec.step(full)
+                steps += len(active_idx)
+                for i in active_idx:
+                    if result.dones[i]:
+                        slot = slot_of_env[i]
+                        ep_obs = buffer.staged_obs(slot)
+                        buffer.end_slot(
+                            slot, result.rewards[i],
+                            values=agent.value_batch(ep_obs),
+                            log_probs=agent.episode_log_probs(
+                                ep_obs, buffer.staged_masks(slot),
+                                buffer.staged_actions(slot),
+                            ),
+                        )
+                        if result.infos[i].get("auto_reset"):
+                            slot_of_env[i] = next_slot
+                            next_slot += 1
+                obs, masks = result.observations, result.action_masks
+            return steps, time.perf_counter() - start
+
+        def actor_rep(rep):
+            steps = 0
+            start = time.perf_counter()
+            actors.submit(rep, list(enumerate(sequences)))
+            for _ in range(len(sequences)):
+                steps += actors.drain().steps
+            return steps, time.perf_counter() - start
+
+        locked_rep()          # warm both paths outside the measured reps
+        actor_rep(0)
+        locked, actor, ratios = [], [], []
+        for rep in range(1, repeat + 1):
+            l_steps, l_time = locked_rep()
+            a_steps, a_time = actor_rep(rep)
+            locked.append(l_steps / l_time)
+            actor.append(a_steps / a_time)
+            ratios.append((a_steps / a_time) / (l_steps / l_time))
+        if os.environ.get("PERF_DEBUG"):
+            print(f"[perf-debug] paired ratios: {[f'{r:.2f}' for r in ratios]}")
+        return (float(np.median(locked)), float(np.median(actor)),
+                float(np.median(ratios)))
+    finally:
+        actors.close()
         vec.close()
 
 
@@ -199,13 +429,22 @@ def bench_runtime_scaling(agent, env_cfg, trace, sequences, n_envs,
     (``api.evaluate`` fan-out) vs the single-process serial path."""
     report = {"workers": list(workers_list), "cpu_count": os.cpu_count()}
 
+    # The gated async/locked 1-worker comparison runs as a paired probe
+    # (alternating reps) so CPU-speed drift cannot skew the ratio; the
+    # remaining worker counts come from the ordinary sweeps below.
+    locked_1w, actor_1w, ratio_1w = rollout_locked_vs_actor_1w(
+        agent, env_cfg, trace.max_procs, sequences, n_envs
+    )
+
     steps, elapsed = rollout_sharded(
         agent, env_cfg, trace.max_procs, sequences, n_envs,
         np.random.default_rng(2), RuntimeConfig()
     )
     serial_rollout = steps / elapsed
-    rollout = {"serial": serial_rollout, "process": {}}
+    rollout = {"serial": serial_rollout, "process": {"1": locked_1w}}
     for w in workers_list:
+        if w == 1:
+            continue
         steps, elapsed = rollout_sharded(
             agent, env_cfg, trace.max_procs, sequences, n_envs,
             np.random.default_rng(2),
@@ -216,6 +455,27 @@ def bench_runtime_scaling(agent, env_cfg, trace, sequences, n_envs,
         rollout["process"][str(workers_list[-1])] / serial_rollout
     )
     report["rollout_steps_per_sec"] = rollout
+
+    # Episode-granular actor throughput next to the lock-step floor.  The
+    # 1-worker async/locked ratio is hardware-independent (identical work,
+    # identical process count — only the IPC granularity differs) and is
+    # gated in check_regression.py.
+    actor = {"serial": None, "process": {"1": actor_1w}}
+    steps, elapsed = rollout_actor(
+        agent, env_cfg, trace.max_procs, sequences, n_envs, RuntimeConfig()
+    )
+    actor["serial"] = steps / elapsed
+    for w in workers_list:
+        if w == 1:
+            continue
+        steps, elapsed = rollout_actor(
+            agent, env_cfg, trace.max_procs, sequences, n_envs,
+            RuntimeConfig(backend="process", workers=w),
+        )
+        actor["process"][str(w)] = steps / elapsed
+    actor["locked_1w_steps_per_sec"] = locked_1w
+    actor["async_over_locked_1w"] = ratio_1w
+    report["actor"] = actor
 
     def eval_once(runtime):
         cfg = EvalConfig(n_sequences=eval_seqs, sequence_length=eval_len,
@@ -253,24 +513,35 @@ BENCH_SCENARIOS = (
     "lublin-256", "lublin-256-wide", "bursty-sdsc", "lublin-256-mem"
 )
 
+#: Scenarios additionally benched with backfilling forced on (the
+#: expensive engine path: shadow-budget scans per decision), recorded as
+#: ``<name>+backfill`` twins next to the protocol-mode entries.
+BENCH_BACKFILL_SCENARIOS = ("lublin-256", "lublin-256-mem")
+
 
 def bench_scenarios(n_jobs):
     """Per-scenario engine throughput (FCFS under each scenario's cluster
-    and protocol backfill mode)."""
+    and protocol backfill mode, plus forced-backfill twins)."""
     from repro.scenarios import get_scenario
 
     out = {}
-    for name in BENCH_SCENARIOS:
+    runs = [(name, None) for name in BENCH_SCENARIOS]
+    runs += [(name, True) for name in BENCH_BACKFILL_SCENARIOS]
+    for name, backfill in runs:
         scen = get_scenario(name)
         trace = scen.build_trace(n_jobs=n_jobs)
+        if backfill is None:
+            backfill = bool(scen.protocol.backfill)
+            key = name
+        else:
+            key = f"{name}+backfill"
         start = time.perf_counter()
-        run_scheduler(trace.jobs, scen.cluster, FCFS(),
-                      backfill=scen.protocol.backfill)
+        run_scheduler(trace.jobs, scen.cluster, FCFS(), backfill=backfill)
         elapsed = time.perf_counter() - start
-        out[name] = {
+        out[key] = {
             "events_per_sec": 2 * len(trace) / elapsed,
             "n_jobs": len(trace),
-            "backfill": bool(scen.protocol.backfill),
+            "backfill": backfill,
         }
     return out
 
@@ -382,6 +653,14 @@ def main(argv=None):
     speedup = (vec_steps / vec_time) / (seq_steps / seq_time)
     print(f"[perf] rollout speedup: {speedup:.2f}x")
 
+    phase_breakdown = rollout_phase_breakdown(
+        agent, env_cfg, trace.max_procs, sequences, n_envs,
+        np.random.default_rng(1),
+    )
+    print(f"[perf] rollout phases: env {phase_breakdown['env_step_frac']:.0%}, "
+          f"policy {phase_breakdown['policy_forward_frac']:.0%}, "
+          f"buffer {phase_breakdown['buffer_frac']:.0%}")
+
     events_per_sec = bench_engine(trace, min(n_jobs, 4000))
     print(f"[perf] engine: {events_per_sec:,.0f} events/s")
 
@@ -416,6 +695,11 @@ def main(argv=None):
     print(f"[perf]   rollout serial {rr['serial']:,.0f} steps/s; process "
           + ", ".join(f"{w}w {v:,.0f}" for w, v in rr["process"].items())
           + f" ({rr['speedup_at_max_workers']:.2f}x at max workers)")
+    ar = runtime_report["actor"]
+    print(f"[perf]   actor serial {ar['serial']:,.0f} steps/s; process "
+          + ", ".join(f"{w}w {v:,.0f}" for w, v in ar["process"].items())
+          + (f" (async/locked at 1w: {ar['async_over_locked_1w']:.2f}x)"
+             if "async_over_locked_1w" in ar else ""))
     print(f"[perf]   evaluate serial {er['serial']:,.1f} seqs/s; process "
           + ", ".join(f"{w}w {v:,.1f}" for w, v in er["process"].items())
           + f" ({er['speedup_at_max_workers']:.2f}x at max workers)")
@@ -436,6 +720,7 @@ def main(argv=None):
             "sequential_steps": seq_steps,
             "vectorized_steps": vec_steps,
             "speedup": speedup,
+            "phase_breakdown": phase_breakdown,
         },
         "engine": {"events_per_sec": events_per_sec},
         "scenarios": scenario_report,

@@ -169,6 +169,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grad-workers", type=_positive_int, default=1,
                    help="shard minibatch gradients over N worker processes "
                         "(1 = in-process backward)")
+    p.add_argument("--rollout-mode", choices=["locked", "async"],
+                   default="locked",
+                   help="rollout collection: lock-step vectorized envs "
+                        "(reference) or episode-granular async actors with "
+                        "in-worker policy inference (one IPC transfer per "
+                        "episode; with --staleness 0 bit-identical to "
+                        "locked)")
+    p.add_argument("--staleness", type=_nonnegative_int, default=0,
+                   help="async rollouts: how many updates collection may "
+                        "run ahead of learning (0 = fully synchronous)")
+    p.add_argument("--stale-mode", choices=["drop", "reweight"],
+                   default="drop",
+                   help="episodes past the staleness bound: exclude from "
+                        "the update (drop) or keep and let PPO's importance "
+                        "ratios reweight them")
     p.add_argument("-o", "--output", required=True)
 
     p = sub.add_parser(
@@ -213,6 +228,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for training rollouts and the "
                         "evaluation fan-out (1 = serial)")
+    p.add_argument("--rollout-mode", choices=["locked", "async"],
+                   default="locked",
+                   help="training rollout collection for every zoo policy "
+                        "(see train --rollout-mode)")
+    p.add_argument("--staleness", type=_nonnegative_int, default=0,
+                   help="async rollouts: staleness bound in updates "
+                        "(0 = fully synchronous)")
     p.add_argument("-o", "--output", default=None,
                    help="write the generalization-matrix JSON artifact")
 
@@ -223,6 +245,13 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -404,6 +433,9 @@ def _cmd_train(args) -> int:
             use_trajectory_filter=args.filter,
             runtime=RuntimeConfig.from_workers(args.workers),
             grad_workers=args.grad_workers,
+            rollout_mode=args.rollout_mode,
+            staleness=args.staleness,
+            stale_mode=args.stale_mode,
             scenario=scenario_cfg,
         ),
     )
@@ -455,6 +487,8 @@ def _cmd_study(args) -> int:
         sequence_length=args.eval_length,
         on_mismatch=args.on_mismatch,
         runtime=RuntimeConfig.from_workers(args.workers),
+        rollout_mode=args.rollout_mode,
+        staleness=args.staleness,
     )
     doc = generalization_matrix(config, progress=print)
     results = doc["results"]

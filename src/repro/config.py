@@ -204,6 +204,12 @@ class PPOConfig:
 class TrainConfig:
     """Epoch-level training protocol (§V-A)."""
 
+    #: accepted rollout-collection modes
+    ROLLOUT_MODES = ("locked", "async")
+    #: what happens to an episode whose weight snapshot is older than
+    #: ``staleness`` updates when it is consumed
+    STALE_MODES = ("drop", "reweight")
+
     epochs: int = 100
     trajectories_per_epoch: int = 100
     trajectory_length: int = 256  # jobs per training sequence
@@ -214,6 +220,24 @@ class TrainConfig:
     vectorized: bool = True       # collect rollouts through the vec env
     n_envs: int = 16              # environments stepped in lock-step
     runtime: RuntimeConfig = RuntimeConfig()  # where env shards execute
+    #: ``"locked"`` collects rollouts through the lock-step sharded vec env
+    #: (policy forward in the parent, two IPC transfers per env step);
+    #: ``"async"`` runs whole episodes inside the workers against a policy
+    #: replica (one transfer per episode) via the episode-granular
+    #: :class:`repro.runtime.ActorRuntime`.
+    rollout_mode: str = "locked"
+    #: async mode only: how many PPO updates ahead the learner may run
+    #: while workers still collect against an older weight snapshot.
+    #: 0 = fully synchronous (bit-identical to ``"locked"``); K > 0
+    #: prefetches up to K future epochs of episodes so workers stay busy
+    #: through the update/validation phase.
+    staleness: int = 0
+    #: episodes staler than the bound when consumed: ``"drop"`` excludes
+    #: them from the update batch, ``"reweight"`` keeps them and lets
+    #: PPO's importance ratios (new-policy vs stored behaviour log-probs)
+    #: do the off-policy correction.  Both are counted in the
+    #: :class:`~repro.rl.trainer.EpochRecord`.
+    stale_mode: str = "drop"
     #: shard minibatch gradient computation over this many workers
     #: (> 1 spawns a process pool holding policy/value replicas; gradients
     #: are reduced in the parent before each optimizer step).  1 = the
@@ -231,6 +255,18 @@ class TrainConfig:
         if self.grad_workers < 1:
             raise ValueError(
                 f"grad_workers must be >= 1, got {self.grad_workers}"
+            )
+        if self.rollout_mode not in self.ROLLOUT_MODES:
+            raise ValueError(
+                f"rollout_mode must be one of {self.ROLLOUT_MODES}, "
+                f"got {self.rollout_mode!r}"
+            )
+        if self.staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {self.staleness}")
+        if self.stale_mode not in self.STALE_MODES:
+            raise ValueError(
+                f"stale_mode must be one of {self.STALE_MODES}, "
+                f"got {self.stale_mode!r}"
             )
         if not isinstance(self.runtime, RuntimeConfig):
             raise TypeError("runtime must be a RuntimeConfig")
@@ -293,6 +329,11 @@ class StudyConfig:
     trajectory_length: int = 64
     max_obsv_size: int = 32
     use_trajectory_filter: bool = False
+    #: rollout collection for every per-scenario Trainer (see
+    #: :class:`TrainConfig`): ``"locked"`` or ``"async"``
+    rollout_mode: str = "locked"
+    #: async staleness bound per trainer (ignored when locked)
+    staleness: int = 0
     # -- evaluation knobs (None = scenario protocol) --------------------
     n_jobs: int | None = None
     n_sequences: int | None = None
@@ -318,5 +359,12 @@ class StudyConfig:
                 f"on_mismatch must be one of {self.MISMATCH_MODES}, "
                 f"got {self.on_mismatch!r}"
             )
+        if self.rollout_mode not in TrainConfig.ROLLOUT_MODES:
+            raise ValueError(
+                f"rollout_mode must be one of {TrainConfig.ROLLOUT_MODES}, "
+                f"got {self.rollout_mode!r}"
+            )
+        if self.staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {self.staleness}")
         if not isinstance(self.runtime, RuntimeConfig):
             raise TypeError("runtime must be a RuntimeConfig")

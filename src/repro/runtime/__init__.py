@@ -19,6 +19,7 @@ tasks in the same order produce the same ordered results, which is what
 keeps process-pool rollouts bit-identical to serial ones.
 """
 
+from .actor import ActorRuntime, EpisodeSlice
 from .backend import ExecutionBackend, WorkerError, make_backend
 from .grad import GradientReducer, shard_bounds
 from .process_pool import ProcessPoolBackend
@@ -33,6 +34,8 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "ShardedVecSchedGym",
+    "ActorRuntime",
+    "EpisodeSlice",
     "GradientReducer",
     "shard_bounds",
     "stream_rng",

@@ -1,0 +1,492 @@
+"""Episode-granular actor runtime: in-worker rollouts, trajectory streaming.
+
+The lock-step :class:`ShardedVecSchedGym` pays two pipe transfers per env
+*step* (actions out, observations back) and keeps the policy forward in
+the parent, so on the process backend IPC dominates.  This module moves
+the whole rollout into the worker: each actor holds its own local vec of
+:class:`~repro.sim.env.SchedGym` environments **and a replica of the
+policy/value networks**, lock-steps its assigned episodes locally (env
+stepping, observation building, *batched* action sampling, per-episode
+value/log-prob targets), and ships finished :class:`EpisodeSlice` objects
+back — IPC drops from two transfers per env-step to at most one per
+episode (one per submitted chunk), and the parent's policy forward
+leaves the critical path entirely.
+
+Determinism contract (pinned by the async golden tests): an episode's
+content depends only on ``(seed, act_stream, epoch, traj)`` and the
+weight version it ran against.  Actors reuse the trainer's rollout
+invariants — per-trajectory RNG streams, episodes entering in trajectory
+order within a chunk, and one canonical ``(T, M, F)`` per-episode batch
+for value estimates and behaviour log-probs — so a worker-collected
+episode is bit-identical to a parent-collected one regardless of how the
+local envs interleave.  Weight pushes and episode submissions share each
+worker's FIFO queue, which is the staleness mechanism: a chunk runs
+against exactly the last version pushed before it was submitted, on
+every backend and any worker count.
+
+Staleness accounting: :meth:`ActorRuntime.drain` stamps each episode
+with ``staleness = current_version - episode.version`` (in learner
+updates).  The learner decides what to do with stale episodes (drop or
+importance-reweight — PPO ratios already use the stored behaviour
+log-probs, so reweighting is automatic); the runtime only measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import EnvConfig, RuntimeConfig
+
+from .backend import ExecutionBackend, WorkerError, make_backend
+from .seeding import stream_rng
+
+__all__ = ["ActorRuntime", "EpisodeSlice"]
+
+
+@dataclass
+class EpisodeSlice:
+    """One finished episode, ready to drop into a :class:`TrajectoryBuffer`.
+
+    ``log_probs`` are the *canonical* per-episode behaviour log-probs
+    (:meth:`PPOAgent.episode_log_probs`) and ``values`` the deferred
+    per-episode value estimates — exactly what ``Trainer`` would have
+    computed parent-side.  ``reward`` is the raw terminal reward; the
+    learner applies its own reward scale.  ``staleness`` is stamped by
+    :meth:`ActorRuntime.drain` (learner updates since collection).
+
+    In transit ``obs`` may be mask-compacted to its valid rows
+    (:func:`_pack_obs`) and ``masks`` prefix-compressed to per-step
+    valid counts (:func:`_pack_masks`); :meth:`ActorRuntime.drain`
+    always yields the full ``(T, M, F)`` / ``(T, M)`` batches.
+    """
+
+    epoch: int
+    traj: int
+    version: int
+    obs: np.ndarray         # (T, M, F) float32
+    masks: np.ndarray       # (T, M)    bool
+    actions: np.ndarray     # (T,)      int64
+    log_probs: np.ndarray   # (T,)      float64
+    values: np.ndarray      # (T,)      float64
+    reward: float
+    steps: int
+    staleness: int = -1
+
+
+# ----------------------------------------------------------------------
+# worker-side task functions (top-level: picklable by reference)
+# ----------------------------------------------------------------------
+def _actor_init(state, cluster, reward_spec, config, n_envs, policy, value,
+                seed, act_stream, version):
+    # Imports stay local: repro.rl/.sim import repro.runtime, so importing
+    # them at module scope would cycle through the package __init__.
+    from repro.rl.ppo import PPOAgent
+    from repro.sim.vec_env import VecSchedGym
+
+    from .sharded_env import _resolve_reward
+
+    state["vec"] = VecSchedGym(
+        n_envs, cluster, _resolve_reward(reward_spec), config=config
+    )
+    state["agent"] = PPOAgent(policy, value)
+    state["seed"] = seed
+    state["act_stream"] = act_stream
+    state["version"] = version
+
+
+def _actor_load_weights(state, version, snapshot):
+    state["agent"].load_weights(snapshot)
+    state["version"] = version
+
+
+def _actor_episodes(state, epoch, assignments):
+    """Run a chunk of complete episodes through the local vec env.
+
+    ``assignments`` is ``[(traj, jobs), ...]``; the chunk lock-steps
+    through ``state["vec"]`` with the same invariants as the trainer's
+    vectorised collector — each trajectory samples from its own
+    ``(seed, act_stream, epoch, traj)`` stream and finishes with one
+    canonical per-episode target batch — so episode content does not
+    depend on local env count or interleaving.  Returns one
+    :class:`EpisodeSlice` per assignment, in trajectory order.
+    """
+    agent, vec = state["agent"], state["vec"]
+    trajs = [traj for traj, _ in assignments]
+    sequences = [
+        _decode_jobs(jobs) if isinstance(jobs, np.ndarray) else jobs
+        for _, jobs in assignments
+    ]
+    rngs = {
+        traj: stream_rng(state["seed"], state["act_stream"], epoch, traj)
+        for traj in trajs
+    }
+    n = min(vec.n_envs, len(sequences))
+    obs, masks = vec.reset(sequences[:n])
+    vec.queue_sequences(sequences[n:])
+    m, f = obs.shape[1:]
+    traj_of_env = {i: trajs[i] for i in range(n)}
+    next_idx = n
+    # Per-trajectory episode buffers, written in place per step: one
+    # decision per job is the common episode length, so sizing by the
+    # sequence length avoids a stack-copy pass over every episode.
+    bufs: dict[int, tuple[np.ndarray, np.ndarray, list]] = {
+        traj: (
+            np.empty((len(seq), m, f), dtype=np.float32),
+            np.empty((len(seq), m), dtype=bool),
+            [],
+        )
+        for traj, seq in zip(trajs, sequences)
+    }
+    rewards: dict[int, float] = {}
+    while True:
+        active_idx = np.flatnonzero(vec.active)
+        if not len(active_idx):
+            break
+        a_obs = obs[active_idx]
+        a_masks = masks[active_idx]
+        acting = [traj_of_env[i] for i in active_idx]
+        actions, _ = agent.act_batch(a_obs, a_masks, [rngs[t] for t in acting])
+        for j, traj in enumerate(acting):
+            ep_obs, ep_masks, ep_actions = bufs[traj]
+            t = len(ep_actions)
+            if t == len(ep_obs):  # episode outran its sequence-length hint
+                ep_obs = np.concatenate([ep_obs, np.empty_like(ep_obs)])
+                ep_masks = np.concatenate([ep_masks, np.empty_like(ep_masks)])
+                bufs[traj] = (ep_obs, ep_masks, ep_actions)
+            ep_obs[t] = a_obs[j]
+            ep_masks[t] = a_masks[j]
+            ep_actions.append(int(actions[j]))
+        full = np.full(vec.n_envs, -1, dtype=np.int64)
+        full[active_idx] = actions
+        result = vec.step(full)
+        for i in active_idx:
+            if result.dones[i]:
+                rewards[traj_of_env[i]] = float(result.rewards[i])
+                if result.infos[i].get("auto_reset"):
+                    traj_of_env[i] = trajs[next_idx]
+                    next_idx += 1
+        obs, masks = result.observations, result.action_masks
+
+    slices = []
+    pack_ok = False
+    for k, traj in enumerate(trajs):
+        t = len(bufs[traj][2])
+        ep_obs = bufs[traj][0][:t]
+        ep_masks = bufs[traj][1][:t]
+        ep_actions = np.array(bufs[traj][2], dtype=np.int64)
+        if k == 0:
+            # The zero-padding invariant behind _pack_obs is structural
+            # (the observation builder zeroes padded rows), so one guarded
+            # pack per chunk decides for all of its episodes.
+            wire_obs = _pack_obs(ep_obs, ep_masks)
+            pack_ok = wire_obs.ndim == 2
+        else:
+            wire_obs = ep_obs[ep_masks] if pack_ok else ep_obs
+        slices.append(EpisodeSlice(
+            epoch=epoch,
+            traj=traj,
+            version=state["version"],
+            obs=wire_obs,
+            masks=_pack_masks(ep_masks),
+            actions=ep_actions,
+            log_probs=agent.episode_log_probs(ep_obs, ep_masks, ep_actions),
+            values=agent.value_batch(ep_obs),
+            reward=rewards[traj],
+            steps=len(ep_actions),
+        ))
+    return slices
+
+
+#: SWF fields shipped per job, in wire-column order (start_time is reset
+#: on decode — submitted sequences are unscheduled by contract).
+_JOB_WIRE_FIELDS = (
+    "job_id", "submit_time", "run_time", "requested_procs",
+    "requested_time", "requested_mem", "user_id", "group_id",
+    "executable_id", "queue_id", "partition_id", "status", "wait_time",
+    "used_procs", "used_avg_cpu", "used_mem", "preceding_job_id",
+    "think_time",
+)
+
+
+def _encode_jobs(jobs) -> np.ndarray:
+    """Columnar wire format for a job sequence: one ``(n, 18)`` float64
+    array instead of ``n`` pickled :class:`Job` objects.  Every SWF field
+    is integral or already float64, so the round trip through
+    :func:`_decode_jobs` is exact; it is also ~2x cheaper than object
+    pickling on both ends, which matters because sequences are shipped
+    every epoch."""
+    return np.array(
+        [
+            (j.job_id, j.submit_time, j.run_time, j.requested_procs,
+             j.requested_time, j.requested_mem, j.user_id, j.group_id,
+             j.executable_id, j.queue_id, j.partition_id, j.status,
+             j.wait_time, j.used_procs, j.used_avg_cpu, j.used_mem,
+             j.preceding_job_id, j.think_time)
+            for j in jobs
+        ],
+        dtype=np.float64,
+    )
+
+
+def _decode_jobs(arr: np.ndarray) -> list:
+    """Inverse of :func:`_encode_jobs`.
+
+    Rebuilds via ``object.__new__`` + direct slot assignment:
+    ``__post_init__`` validation already ran when the trace was loaded
+    (including the ``requested_time`` fallback, so the stored value is
+    final), and re-running it per job per epoch is measurable overhead.
+    """
+    from repro.workloads.job import Job
+
+    jobs = []
+    for (job_id, submit_time, run_time, requested_procs, requested_time,
+         requested_mem, user_id, group_id, executable_id, queue_id,
+         partition_id, status, wait_time, used_procs, used_avg_cpu,
+         used_mem, preceding_job_id, think_time) in arr.tolist():
+        j = object.__new__(Job)
+        j.job_id = int(job_id)
+        j.submit_time = submit_time
+        j.run_time = run_time
+        j.requested_procs = int(requested_procs)
+        j.requested_time = requested_time
+        j.requested_mem = requested_mem
+        j.user_id = int(user_id)
+        j.group_id = int(group_id)
+        j.executable_id = int(executable_id)
+        j.queue_id = int(queue_id)
+        j.partition_id = int(partition_id)
+        j.status = int(status)
+        j.wait_time = wait_time
+        j.used_procs = int(used_procs)
+        j.used_avg_cpu = used_avg_cpu
+        j.used_mem = used_mem
+        j.preceding_job_id = int(preceding_job_id)
+        j.think_time = think_time
+        j.start_time = -1.0
+        jobs.append(j)
+    return jobs
+
+
+def _pack_obs(obs: np.ndarray, masks: np.ndarray) -> np.ndarray:
+    """Mask-compact an episode's observations for the wire.
+
+    Padded observation rows are all-zero (only ``masks``-valid rows carry
+    features), so shipping the valid rows alone cuts the per-episode
+    payload by the padding fraction — substantial at large ``M`` — and
+    :func:`_unpack_obs` rebuilds the full ``(T, M, F)`` batch *exactly*.
+    If the zero-padding invariant ever breaks, fall back to the full
+    array rather than ship a lossy compaction.
+    """
+    packed = obs[masks]
+    if np.count_nonzero(obs) != np.count_nonzero(packed):
+        return obs
+    return packed
+
+
+def _unpack_obs(obs: np.ndarray, masks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_pack_obs` (2-D wire format -> full 3-D batch)."""
+    if obs.ndim != 2:
+        return obs
+    full = np.zeros(masks.shape + (obs.shape[-1],), dtype=obs.dtype)
+    full[masks] = obs
+    return full
+
+
+def _pack_masks(masks: np.ndarray) -> np.ndarray:
+    """Mask wire format: visible jobs pack the leading observation slots,
+    so a step's mask is (in practice) a prefix of True — one valid-count
+    per step rebuilds it exactly.  Fall back to the full ``(T, M)`` array
+    whenever a mask isn't prefix-form."""
+    counts = masks.sum(axis=1, dtype=np.int32)
+    if np.array_equal(np.arange(masks.shape[1]) < counts[:, None], masks):
+        return counts
+    return masks
+
+
+def _unpack_masks(masks: np.ndarray, m: int) -> np.ndarray:
+    """Inverse of :func:`_pack_masks` (1-D counts -> full bool masks)."""
+    if masks.ndim != 1:
+        return masks
+    return np.arange(m) < masks[:, None]
+
+
+# ----------------------------------------------------------------------
+class ActorRuntime:
+    """A pool of episode-granular actors behind ``post``/``next_result``.
+
+    Lifecycle: :meth:`install` replicates the envs + networks into every
+    worker, :meth:`submit` queues a set of episodes (round-robin by
+    trajectory index, one chunk per worker), :meth:`drain` blocks for the
+    next finished episode, :meth:`push_weights` streams a new snapshot to
+    every actor.  Weight pushes ride the same per-worker FIFO as episode
+    chunks, so ordering — not locking — defines which version each
+    episode sees.
+
+    ``n_envs`` is the *per-worker* lock-step width: each actor batches
+    policy forwards across up to that many of its local episodes, so the
+    async path keeps the vectorised-forward advantage the lock-step
+    collector gets in the parent.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        reward,
+        config: EnvConfig | None = None,
+        runtime: RuntimeConfig | None = None,
+        backend: ExecutionBackend | None = None,
+        n_envs: int = 8,
+        seed: int = 0,
+        act_stream: int = 7919,
+    ):
+        if n_envs < 1:
+            raise ValueError(f"n_envs must be >= 1, got {n_envs}")
+        self.config = config or EnvConfig()
+        self._owns_backend = backend is None
+        self.backend = backend or make_backend(runtime or RuntimeConfig())
+        self.backend.start()
+        self._cluster = cluster
+        self._reward = reward
+        self._n_envs = int(n_envs)
+        self._seed = int(seed)
+        self._act_stream = int(act_stream)
+        self._version = -1
+        self._installed = False
+        # Per-worker FIFO of what each posted task is: ("weights", 0)
+        # pushes complete with a None ack that drain() must skip;
+        # ("episodes", k) completions carry k EpisodeSlices.
+        self._kinds: list[deque] = [deque() for _ in range(self.backend.n_workers)]
+        self._ready: deque = deque()
+        self._n_episodes_pending = 0
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return self.backend.n_workers
+
+    @property
+    def n_envs(self) -> int:
+        """Per-worker lock-step width."""
+        return self._n_envs
+
+    @property
+    def version(self) -> int:
+        """The latest weight version pushed to the actors."""
+        return self._version
+
+    @property
+    def n_outstanding(self) -> int:
+        """Episodes submitted but not yet drained."""
+        return self._n_episodes_pending + len(self._ready)
+
+    def install(self, policy, value, version: int = 0) -> None:
+        """Replicate envs + networks into every worker (once per run)."""
+        if self._installed:
+            raise RuntimeError("actors already installed")
+        self.backend.broadcast(
+            _actor_init,
+            self._cluster,
+            self._reward,
+            self.config,
+            self._n_envs,
+            policy,
+            value,
+            self._seed,
+            self._act_stream,
+            int(version),
+        )
+        self._version = int(version)
+        self._installed = True
+
+    def close(self) -> None:
+        """Drain stragglers and release the backend if this runtime owns it."""
+        while self.backend.started and self.backend.n_pending:
+            try:
+                self.backend.next_result()
+            except WorkerError:
+                break  # a dead/failing worker: leave cleanup to close()
+        for kinds in self._kinds:
+            kinds.clear()
+        self._ready.clear()
+        self._n_episodes_pending = 0
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "ActorRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- episode streaming ----------------------------------------------
+    def push_weights(self, version: int, snapshot: dict) -> None:
+        """Queue a weight snapshot on every actor (FIFO after prior work)."""
+        self._require_installed()
+        version = int(version)
+        if version < self._version:
+            raise ValueError(
+                f"weight version must not decrease: {version} < {self._version}"
+            )
+        for w in range(self.n_workers):
+            self.backend.post(w, _actor_load_weights, version, snapshot)
+            self._kinds[w].append(("weights", 0))
+        self._version = version
+
+    def submit(self, epoch: int, assignments: Sequence[tuple[int, Sequence]]) -> None:
+        """Queue episodes ``[(traj, jobs), ...]``, one chunk per worker.
+
+        Episodes fan round-robin by trajectory index (``traj %
+        n_workers``), so the worker owning a trajectory — hence its
+        weight version under FIFO ordering — is deterministic for any
+        submission pattern.  On process backends job sequences travel in
+        the columnar :func:`_encode_jobs` wire format (exact round trip,
+        ~2x cheaper than object pickling).
+        """
+        self._require_installed()
+        wire = self.backend.crosses_process_boundary
+        chunks: dict[int, list] = {}
+        for traj, jobs in assignments:
+            chunks.setdefault(int(traj) % self.n_workers, []).append(
+                (int(traj), _encode_jobs(jobs) if wire else jobs)
+            )
+        for w in sorted(chunks):
+            self.backend.post(w, _actor_episodes, int(epoch), chunks[w])
+            self._kinds[w].append(("episodes", len(chunks[w])))
+            self._n_episodes_pending += len(chunks[w])
+
+    def drain(self) -> EpisodeSlice:
+        """Block for the next finished episode (cross-worker arrival order),
+        stamped with its staleness in learner updates."""
+        while not self._ready:
+            if self._n_episodes_pending == 0:
+                raise RuntimeError("drain() with no episodes in flight")
+            try:
+                worker, payload = self.backend.next_result()
+            except WorkerError as err:
+                kinds = self._kinds[err.worker_id]
+                kind, count = kinds.popleft() if kinds else ("episodes", 0)
+                if kind == "episodes":
+                    self._n_episodes_pending -= min(
+                        count, self._n_episodes_pending
+                    )
+                raise
+            kind, count = self._kinds[worker].popleft()
+            if kind == "weights":
+                continue  # load-weights ack, nothing to deliver
+            self._n_episodes_pending -= count
+            self._ready.extend(payload)
+        episode = self._ready.popleft()
+        episode.masks = _unpack_masks(
+            episode.masks, self.config.observation_shape[0]
+        )
+        episode.obs = _unpack_obs(episode.obs, episode.masks)
+        episode.staleness = self._version - episode.version
+        return episode
+
+    def _require_installed(self) -> None:
+        if not self._installed:
+            raise RuntimeError("call install(policy, value) first")

@@ -11,6 +11,16 @@ worker returns first (:func:`multiprocessing.connection.wait`), and the
 chunk index travels with the result so the caller always sees results in
 task order — worker count and scheduling jitter are unobservable.
 
+Posted tasks (``post``/``next_result``) return their results through one
+shared ``multiprocessing.Queue`` instead of the per-worker pipes.  The
+queue's feeder thread makes the worker-side put non-blocking, which
+breaks the deadlock a pipe-only design invites: with pipes, a parent
+blocked in ``send`` (pushing weights) to a worker that is itself blocked
+in ``send`` (returning a large episode) would wedge both sides forever.
+Workers pre-pickle queue payloads so an unpicklable result fails
+*synchronously* in the worker — shipped back as an error — rather than
+asynchronously wedging the queue's feeder thread.
+
 Task functions and their arguments must be picklable; define worker
 functions at module top level.  Exceptions raised in a worker come back
 pickled and re-raise in the parent as :class:`WorkerError`.
@@ -19,6 +29,9 @@ pickled and re-raise in the parent as :class:`WorkerError`.
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
+import queue as queue_mod
+import time
 from multiprocessing.connection import Connection, wait
 from typing import Sequence
 
@@ -29,8 +42,14 @@ __all__ = ["ProcessPoolBackend"]
 _SHUTDOWN = None  # pipe sentinel
 
 
-def _worker_main(conn: Connection) -> None:
-    """Command loop: ``(fn, args)`` in, ``("ok", result) | ("err", exc)`` out."""
+def _worker_main(conn: Connection, result_queue, worker_id: int) -> None:
+    """Command loop: ``(fn, args, via_queue)`` in, results out.
+
+    ``via_queue=False`` (scatter/map) answers on the pipe with
+    ``("ok", result) | ("err", exc)``; ``via_queue=True`` (posted tasks)
+    puts a pre-pickled ``(worker_id, status, payload)`` blob on the
+    shared result queue instead.
+    """
     state: dict = {}
     while True:
         try:
@@ -39,16 +58,27 @@ def _worker_main(conn: Connection) -> None:
             break
         if msg is _SHUTDOWN:
             break
-        fn, args = msg
+        fn, args, via_queue = msg
         try:
-            conn.send(("ok", fn(state, *args)))
+            reply = ("ok", fn(state, *args))
         except KeyboardInterrupt:
             break
         except BaseException as exc:  # ship the failure, keep the loop alive
             try:
-                conn.send(("err", exc))
-            except Exception:  # unpicklable exception: send a plain stand-in
-                conn.send(("err", RuntimeError(f"{type(exc).__name__}: {exc}")))
+                pickle.dumps(exc)
+                reply = ("err", exc)
+            except Exception:  # unpicklable exception: a plain stand-in
+                reply = ("err", RuntimeError(f"{type(exc).__name__}: {exc}"))
+        if not via_queue:
+            conn.send(reply)
+            continue
+        try:
+            blob = pickle.dumps((worker_id,) + reply)
+        except Exception as exc:  # unpicklable *result*: fail the task
+            blob = pickle.dumps(
+                (worker_id, "err", RuntimeError(f"unpicklable result: {exc}"))
+            )
+        result_queue.put(blob)
 
 
 def _map_chunk(state: dict, fn: TaskFn, tasks: list) -> list:
@@ -59,6 +89,8 @@ def _map_chunk(state: dict, fn: TaskFn, tasks: list) -> list:
 class ProcessPoolBackend(ExecutionBackend):
     """Persistent ``multiprocessing`` workers behind the backend contract."""
 
+    crosses_process_boundary = True
+
     #: seconds to wait for a worker to exit cleanly before terminating it
     JOIN_TIMEOUT = 5.0
 
@@ -66,14 +98,20 @@ class ProcessPoolBackend(ExecutionBackend):
         super().__init__(n_workers)
         self._procs: list[mp.Process] = []
         self._conns: list[Connection] = []
+        self._result_queue = None
+        self._posted_counts: list[int] = []
 
     # -- lifecycle ------------------------------------------------------
     def _start_impl(self) -> None:
         ctx = mp.get_context()
-        for _ in range(self.n_workers):
+        self._result_queue = ctx.Queue()
+        self._posted_counts = [0] * self.n_workers
+        for worker_id in range(self.n_workers):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             proc = ctx.Process(
-                target=_worker_main, args=(child_conn,), daemon=True
+                target=_worker_main,
+                args=(child_conn, self._result_queue, worker_id),
+                daemon=True,
             )
             proc.start()
             child_conn.close()
@@ -81,6 +119,22 @@ class ProcessPoolBackend(ExecutionBackend):
             self._conns.append(parent_conn)
 
     def _close_impl(self) -> None:
+        # Posted tasks may still be running; drain their results (bounded)
+        # so no worker is wedged mid-put when the shutdown sentinel lands.
+        deadline = time.monotonic() + self.JOIN_TIMEOUT
+        while sum(self._posted_counts):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                blob = self._result_queue.get(timeout=min(remaining, 1.0))
+            except queue_mod.Empty:
+                for w, proc in enumerate(self._procs):
+                    if self._posted_counts[w] and not proc.is_alive():
+                        self._posted_counts[w] = 0
+                continue
+            worker, _status, _payload = pickle.loads(blob)
+            self._posted_counts[worker] -= 1
         for conn in self._conns:
             try:
                 conn.send(_SHUTDOWN)
@@ -93,7 +147,12 @@ class ProcessPoolBackend(ExecutionBackend):
                 proc.join(timeout=self.JOIN_TIMEOUT)
         for conn in self._conns:
             conn.close()
+        if self._result_queue is not None:
+            self._result_queue.close()
+            self._result_queue.join_thread()
         self._procs, self._conns = [], []
+        self._result_queue = None
+        self._posted_counts = []
 
     # -- dispatch -------------------------------------------------------
     def _recv(self, worker_id: int):
@@ -119,7 +178,7 @@ class ProcessPoolBackend(ExecutionBackend):
         posted, first_err = [], None
         for w, args in zip(workers, per_worker_args):
             try:
-                self._conns[w].send((fn, args))
+                self._conns[w].send((fn, args, False))
             except Exception as exc:
                 # Broken pipe, but also pickling failures: send() pickles
                 # before writing, so nothing reached the worker — stop
@@ -158,7 +217,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 return False
             start, chunk = entry
             try:
-                self._conns[worker_id].send((_map_chunk, (fn, chunk)))
+                self._conns[worker_id].send((_map_chunk, (fn, chunk), False))
             except Exception as exc:
                 # Includes pickling failures: send() pickles before
                 # writing, so the worker saw nothing — record the error
@@ -185,3 +244,38 @@ class ProcessPoolBackend(ExecutionBackend):
         if first_err is not None:
             raise first_err
         return results
+
+    # -- asynchronous dispatch ------------------------------------------
+    def _post_impl(self, worker: int, fn: TaskFn, args: tuple) -> None:
+        try:
+            self._conns[worker].send((fn, args, True))
+        except Exception as exc:
+            # Broken pipe or pickling failure: send() pickles before
+            # writing, so the worker saw nothing — the task never counts
+            # as pending.
+            raise WorkerError(worker, exc) from exc
+        self._posted_counts[worker] += 1
+
+    def _next_result_impl(self) -> tuple:
+        while True:
+            try:
+                blob = self._result_queue.get(timeout=1.0)
+            except queue_mod.Empty:
+                # No result yet.  Either a task is still running (keep
+                # waiting) or a worker died mid-task — surface that as a
+                # WorkerError and write off everything posted to it.
+                for w, proc in enumerate(self._procs):
+                    if self._posted_counts[w] and not proc.is_alive():
+                        self._posted_counts[w] = 0
+                        raise WorkerError(
+                            w, RuntimeError("worker died with posted task(s) pending")
+                        ) from None
+                continue
+            worker, status, payload = pickle.loads(blob)
+            self._posted_counts[worker] -= 1
+            if status == "err":
+                raise WorkerError(worker, payload) from payload
+            return worker, payload
+
+    def _n_pending_impl(self) -> int:
+        return sum(self._posted_counts)

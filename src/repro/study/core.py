@@ -99,6 +99,8 @@ def _train_provenance(config: StudyConfig, metric: str) -> dict:
         "max_obsv_size": config.max_obsv_size,
         "use_trajectory_filter": config.use_trajectory_filter,
         "n_jobs": config.n_jobs,
+        "rollout_mode": config.rollout_mode,
+        "staleness": config.staleness,
     }
 
 
@@ -149,6 +151,8 @@ def train_matrix(
             seed=config.seed,
             use_trajectory_filter=config.use_trajectory_filter,
             runtime=config.runtime,
+            rollout_mode=config.rollout_mode,
+            staleness=config.staleness,
             # workload size/seed stay the scenario defaults unless the
             # study shrinks them (n_jobs) — the same trace the evaluation
             # cells sample from

@@ -20,7 +20,7 @@ _spec.loader.exec_module(check_regression)
 
 
 def bench_doc(steps_per_sec, speedup, python="3.11.7", cpu_count=4,
-              machine="x86_64", sparse_speedup=3.0):
+              machine="x86_64", sparse_speedup=3.0, actor_ratio=1.6):
     return {
         "scales": {
             "smoke": {
@@ -33,6 +33,11 @@ def bench_doc(steps_per_sec, speedup, python="3.11.7", cpu_count=4,
                 "ppo_update": {
                     "sec_per_iter": 0.01,
                     "sparse_speedup": sparse_speedup,
+                },
+                "runtime": {
+                    "actor": {
+                        "async_over_locked_1w": actor_ratio,
+                    },
                 },
                 "platform": {
                     "python": python,
@@ -131,6 +136,34 @@ class TestSparseSpeedupGate:
         base = bench_doc(30000, 5.0)
         del base["scales"]["smoke"]["ppo_update"]["sparse_speedup"]
         assert gate(base, bench_doc(29000, 5.0, sparse_speedup=2.5)) == 0
+
+
+class TestActorRatioGate:
+    """The async-vs-locked 1-worker ratio lives behind a dotted section
+    path (``runtime.actor``) — pin both the lookup and the gate."""
+
+    def test_dotted_lookup(self):
+        doc = bench_doc(30000, 5.0, actor_ratio=1.7)["scales"]["smoke"]
+        assert check_regression.lookup_ratio(
+            doc, "runtime.actor", "async_over_locked_1w") == 1.7
+        assert check_regression.lookup_ratio(
+            doc, "runtime.missing", "async_over_locked_1w") is None
+        assert check_regression.lookup_ratio(doc, "rollout", "speedup") == 5.0
+
+    def test_actor_collapse_fails_even_cross_platform(self, gate):
+        base = bench_doc(30000, 5.0, cpu_count=1, actor_ratio=1.6)
+        cur = bench_doc(29000, 5.0, cpu_count=4, actor_ratio=0.7)
+        assert gate(base, cur) == 1
+
+    def test_actor_within_tolerance_passes(self, gate):
+        base = bench_doc(30000, 5.0, actor_ratio=1.6)
+        cur = bench_doc(29000, 5.0, actor_ratio=1.1)  # 31% drop < 40%
+        assert gate(base, cur) == 0
+
+    def test_pre_actor_baseline_skips_check(self, gate):
+        base = bench_doc(30000, 5.0)
+        del base["scales"]["smoke"]["runtime"]
+        assert gate(base, bench_doc(29000, 5.0)) == 0
 
 
 class TestInputs:

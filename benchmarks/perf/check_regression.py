@@ -21,6 +21,13 @@ regression can hide:
   smoke runs are noisy; the checks exist to catch an optimised path
   collapsing toward its reference, which no runner change can excuse.
 
+A third check is an **absolute floor**, not a baseline comparison:
+``telemetry.enabled_over_disabled`` (telemetry-enabled over -disabled
+rollout throughput, paired reps within one run) must stay at or above
+``--telemetry-floor`` (default 0.95 — "telemetry costs at most 5%").
+Being within-run it gates on every platform; being absolute it cannot
+drift downward one tolerated baseline bump at a time.
+
 Improvements and unrelated-metric noise never fail.  A baseline with no
 entry for the requested scale passes with a notice (first run on a new
 scale seeds the baseline).
@@ -100,12 +107,19 @@ def main(argv=None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="fail on throughput drops even across platform "
                              "changes")
+    parser.add_argument("--telemetry-floor", type=float, default=0.95,
+                        help="absolute floor for the within-run "
+                             "telemetry-enabled/disabled rollout throughput "
+                             "ratio (0.95 = at most 5%% overhead); 0 "
+                             "disables the check")
     args = parser.parse_args(argv)
 
     if not 0 <= args.tolerance < 1:
         parser.error("tolerance must be in [0, 1)")
     if not 0 <= args.ratio_tolerance < 1:
         parser.error("ratio-tolerance must be in [0, 1)")
+    if not 0 <= args.telemetry_floor <= 1:
+        parser.error("telemetry-floor must be in [0, 1]")
 
     base = load_scale(args.baseline, args.scale)
     if base is None:
@@ -156,6 +170,25 @@ def main(argv=None) -> int:
             print(f"[bench-check] FAIL: {label} fell "
                   f"{1 - cur_r / base_r:.1%} (> {args.ratio_tolerance:.0%}) "
                   "— this ratio is measured within one run, so hardware "
+                  "differences do not excuse it", file=sys.stderr)
+            failed = True
+
+    # -- telemetry overhead: absolute within-run floor -------------------
+    tel = lookup_ratio(cur, "telemetry", "enabled_over_disabled")
+    if args.telemetry_floor == 0:
+        print("[bench-check] telemetry.enabled_over_disabled: check disabled")
+    elif tel is None:
+        print("[bench-check] telemetry.enabled_over_disabled: missing from "
+              "current run; skipping overhead check")
+    else:
+        print(f"[bench-check] scale={args.scale} "
+              f"telemetry.enabled_over_disabled: {tel:.3f} "
+              f"(floor {args.telemetry_floor:.2f})")
+        if tel < args.telemetry_floor:
+            print(f"[bench-check] FAIL: telemetry-enabled rollout throughput "
+                  f"is {tel:.3f}x the disabled path (< "
+                  f"{args.telemetry_floor:.2f}) — instrumentation overhead "
+                  "exceeds the budget; this is within-run, so hardware "
                   "differences do not excuse it", file=sys.stderr)
             failed = True
 

@@ -11,7 +11,11 @@ Measures, in one run:
   episode.
 * ``rollout.speedup`` — the ratio (the PR-1 acceptance bar is ≥ 5×).
 * ``rollout.phase_breakdown`` — where vectorised-rollout wall-time goes:
-  env stepping vs policy forwards vs buffer bookkeeping.
+  env stepping vs policy forwards vs buffer bookkeeping, read from the
+  ``rollout.*`` telemetry spans the training collector itself records.
+* ``telemetry.enabled_over_disabled`` — paired alternating-rep probe of
+  telemetry's rollout cost; the within-run throughput ratio is
+  hardware-independent and gated in CI (floor 0.95).
 * ``engine.events_per_sec`` — raw discrete-event engine throughput
   (FCFS schedule, no network in the loop).
 * ``scenarios.<name>.events_per_sec`` — the same engine throughput per
@@ -69,9 +73,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.api import evaluate
-from repro.config import EnvConfig, EvalConfig, PPOConfig, RuntimeConfig
+from repro.config import EnvConfig, EvalConfig, PPOConfig, RuntimeConfig, TrainConfig
 from repro.nn import ValueMLP, make_policy
 from repro.rl import PPOAgent, TrajectoryBuffer, make_reward
+from repro.rl.trainer import Trainer
+from repro.telemetry import core as telemetry
 from repro.runtime import ShardedVecSchedGym
 from repro.sim import SchedulingEngine, VecSchedGym, build_observation_loop, run_scheduler
 from repro.schedulers import FCFS, SJF
@@ -175,55 +181,46 @@ def rollout_vectorized(agent, env_cfg, n_procs, sequences, n_envs, rng, buffer=N
     return steps, time.perf_counter() - start
 
 
-def rollout_phase_breakdown(agent, env_cfg, n_procs, sequences, n_envs, rng):
+def _phase_trainer(env_cfg, trace, n_sequences, seq_len, n_envs):
+    """A serial-runtime Trainer sized to roll the bench sequences through
+    the *training* collector — the one instrumentation source for rollout
+    phase timing (``rollout.policy_forward`` / ``env_step`` / ``buffer``
+    spans)."""
+    return Trainer(
+        trace,
+        metric="bsld",
+        env_config=env_cfg,
+        train_config=TrainConfig(
+            trajectories_per_epoch=n_sequences,
+            trajectory_length=seq_len,
+            n_envs=n_envs,
+            seed=0,
+        ),
+    )
+
+
+def rollout_phase_breakdown(env_cfg, trace, sequences, n_envs, rng):
     """Per-phase wall-time split of a vectorised rollout.
 
-    Times the three constituents separately — env stepping (simulation +
-    observation building), policy forwards (per-step ``act_batch`` plus
-    the per-episode value batch), and trajectory-buffer bookkeeping — so
-    "what is the next rollout bottleneck" is answered by recorded data.
+    Drives the trainer's own ``_collect_vectorized`` under a telemetry
+    session and reads the split from the ``rollout.*`` spans the
+    collector records — the bench no longer hand-times a duplicate of the
+    collection loop, so these fractions are, by construction, the ones a
+    telemetry-enabled training run reports.
     """
-    vec = VecSchedGym(n_envs, n_procs, make_reward("bsld"), config=env_cfg)
-    buffer = TrajectoryBuffer()
-    t_env = t_policy = t_buffer = 0.0
-    n = min(n_envs, len(sequences))
-    t0 = time.perf_counter()
-    obs, masks = vec.reset(sequences[:n])
-    vec.queue_sequences(sequences[n:])
-    t_env += time.perf_counter() - t0
-    slot_of_env = list(range(n))
-    next_slot = n
-    while True:
-        active_idx = np.flatnonzero(vec.active)
-        if not len(active_idx):
-            break
-        a_obs = obs[active_idx]
-        a_masks = masks[active_idx]
-        t0 = time.perf_counter()
-        actions, log_probs = agent.act_batch(a_obs, a_masks, rng)
-        t_policy += time.perf_counter() - t0
-        t0 = time.perf_counter()
-        buffer.store_batch(a_obs, a_masks, actions, log_probs,
-                           slots=[slot_of_env[i] for i in active_idx])
-        t_buffer += time.perf_counter() - t0
-        full = np.full(vec.n_envs, -1, dtype=np.int64)
-        full[active_idx] = actions
-        t0 = time.perf_counter()
-        result = vec.step(full)
-        t_env += time.perf_counter() - t0
-        for i in active_idx:
-            if result.dones[i]:
-                slot = slot_of_env[i]
-                t0 = time.perf_counter()
-                values = agent.value_batch(buffer.staged_obs(slot))
-                t_policy += time.perf_counter() - t0
-                t0 = time.perf_counter()
-                buffer.end_slot(slot, result.rewards[i], values=values)
-                t_buffer += time.perf_counter() - t0
-                if result.infos[i].get("auto_reset"):
-                    slot_of_env[i] = next_slot
-                    next_slot += 1
-        obs, masks = result.observations, result.action_masks
+    trainer = _phase_trainer(
+        env_cfg, trace, len(sequences), len(sequences[0]), n_envs
+    )
+    try:
+        with telemetry.session() as reg:
+            trainer._collect_vectorized(
+                sequences, list(rng.spawn(len(sequences))), TrajectoryBuffer()
+            )
+            t_policy = reg.span_seconds("rollout.policy_forward")
+            t_env = reg.span_seconds("rollout.env_step")
+            t_buffer = reg.span_seconds("rollout.buffer")
+    finally:
+        trainer.close()
     total = t_env + t_policy + t_buffer
     return {
         "env_step_sec": t_env,
@@ -233,6 +230,72 @@ def rollout_phase_breakdown(agent, env_cfg, n_procs, sequences, n_envs, rng):
         "policy_forward_frac": t_policy / total,
         "buffer_frac": t_buffer / total,
     }
+
+
+def bench_telemetry_overhead(env_cfg, trace, sequences, n_envs, repeat=20):
+    """Paired within-run probe of telemetry's rollout cost.
+
+    Telemetry-enabled and -disabled passes of the same instrumented
+    collector alternate inside one loop, so the two paths see the same
+    machine conditions — hardware-independent like the other gated
+    ratios.  The gated ratio compares *total* time across all reps of
+    each path: per-rep minima and medians both proved too jittery on a
+    loaded 1-core box to resolve a few-percent effect, while the sum
+    averages scheduler noise down by ~1/sqrt(repeat) and the alternation
+    cancels slow drift.  Returns aggregate throughputs and the
+    enabled/disabled ratio (1.0 = free; the CI floor is 0.95).
+
+    Sequences are tiled so one pass is tens of milliseconds even at smoke
+    scale: the gated ratio must resolve a few-percent effect, which a
+    ~10 ms timing window cannot.
+    """
+    reps_of = max(1, -(-32 // len(sequences)))
+    sequences = list(sequences) * reps_of
+    trainer = _phase_trainer(
+        env_cfg, trace, len(sequences), len(sequences[0]), n_envs
+    )
+    reg = telemetry.Telemetry(enabled=True)
+
+    def one_pass():
+        rngs = list(np.random.default_rng(5).spawn(len(sequences)))
+        start = time.perf_counter()
+        trainer._collect_vectorized(sequences, rngs, TrajectoryBuffer())
+        return time.perf_counter() - start
+
+    def enabled_pass():
+        prev = telemetry.set_active(reg)
+        try:
+            return one_pass()
+        finally:
+            telemetry.set_active(prev)
+            reg.drain()  # keep per-rep cost flat across reps
+
+    try:
+        one_pass()  # warm both paths outside the measured reps
+        enabled_pass()
+        steps = sum(len(jobs) for jobs in sequences)
+        on_times, off_times = [], []
+        for rep in range(repeat):
+            # alternate pair order so neither path systematically runs in
+            # the fresher half of each pair
+            if rep % 2 == 0:
+                on_times.append(enabled_pass())
+                off_times.append(one_pass())
+            else:
+                off_times.append(one_pass())
+                on_times.append(enabled_pass())
+        if os.environ.get("PERF_DEBUG"):
+            print(f"[perf-debug] telemetry on: "
+                  f"{[f'{t*1e3:.1f}ms' for t in on_times]} off: "
+                  f"{[f'{t*1e3:.1f}ms' for t in off_times]}")
+        t_on, t_off = sum(on_times), sum(off_times)
+        return {
+            "enabled_steps_per_sec": repeat * steps / t_on,
+            "disabled_steps_per_sec": repeat * steps / t_off,
+            "enabled_over_disabled": t_off / t_on,
+        }
+    finally:
+        trainer.close()
 
 
 def rollout_sharded(agent, env_cfg, n_procs, sequences, n_envs, rng, runtime,
@@ -654,12 +717,17 @@ def main(argv=None):
     print(f"[perf] rollout speedup: {speedup:.2f}x")
 
     phase_breakdown = rollout_phase_breakdown(
-        agent, env_cfg, trace.max_procs, sequences, n_envs,
-        np.random.default_rng(1),
+        env_cfg, trace, sequences, n_envs, np.random.default_rng(1)
     )
     print(f"[perf] rollout phases: env {phase_breakdown['env_step_frac']:.0%}, "
           f"policy {phase_breakdown['policy_forward_frac']:.0%}, "
           f"buffer {phase_breakdown['buffer_frac']:.0%}")
+
+    telemetry_report = bench_telemetry_overhead(
+        env_cfg, trace, sequences, n_envs
+    )
+    print(f"[perf] telemetry overhead: enabled/disabled rollout throughput "
+          f"{telemetry_report['enabled_over_disabled']:.3f}x")
 
     events_per_sec = bench_engine(trace, min(n_jobs, 4000))
     print(f"[perf] engine: {events_per_sec:,.0f} events/s")
@@ -725,6 +793,7 @@ def main(argv=None):
         "engine": {"events_per_sec": events_per_sec},
         "scenarios": scenario_report,
         "ppo_update": ppo_report,
+        "telemetry": telemetry_report,
         "runtime": runtime_report,
         "platform": {
             "python": platform.python_version(),

@@ -22,7 +22,19 @@ Quickstart::
     )
 """
 
-from . import api, config, nn, rl, runtime, scenarios, schedulers, sim, study, workloads
+from . import (
+    api,
+    config,
+    nn,
+    rl,
+    runtime,
+    scenarios,
+    schedulers,
+    sim,
+    study,
+    telemetry,
+    workloads,
+)
 from .api import (
     EvalResult,
     compare,
@@ -40,6 +52,7 @@ from .config import (
     RuntimeConfig,
     ScenarioConfig,
     StudyConfig,
+    TelemetryConfig,
     TrainConfig,
 )
 from .rl import Trainer, TrainingResult
@@ -60,6 +73,7 @@ __all__ = [
     "schedulers",
     "sim",
     "study",
+    "telemetry",
     "workloads",
     "train",
     "evaluate",
@@ -75,6 +89,7 @@ __all__ = [
     "RuntimeConfig",
     "ScenarioConfig",
     "StudyConfig",
+    "TelemetryConfig",
     "FeatureLayoutError",
     "Trainer",
     "TrainingResult",

@@ -46,12 +46,15 @@ scenario matrix broadcasts every scenario's sequences once and ships
 
 from __future__ import annotations
 
+import time
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from .config import EvalConfig
 from .rl.trainer import train as _train
+from .telemetry import core as _telemetry
+from .telemetry.sink import telemetry_run
 from .runtime import make_backend
 from .scenarios import Scenario, get_scenario, resolve_scenario_config
 from .schedulers.base import Scheduler
@@ -133,20 +136,30 @@ def _install_matrix_state(state, schedulers, cells):
 
 
 def _matrix_task(state, task):
-    """Score scheduler ``si`` on sequence ``qi`` of cell ``ci``."""
+    """Score scheduler ``si`` on sequence ``qi`` of cell ``ci``.
+
+    Records the full simulate+score latency into the
+    ``eval.cell_latency_sec`` histogram; on a process backend the sample
+    piggybacks back to the parent worker-labelled.
+    """
     ci, si, qi = task
     cell = state["cells"][ci]
+    reg = _telemetry.current()
+    t0 = time.perf_counter() if reg.enabled else 0.0
     completed = run_scheduler(
         cell["sequences"][qi],
         cell["cluster"],
         state["schedulers"][si],
         backfill=cell["backfill"],
     )
-    return float(cell["metric_fn"](completed, cell["cluster"].n_procs))
+    value = float(cell["metric_fn"](completed, cell["cluster"].n_procs))
+    if reg.enabled:
+        reg.histogram("eval.cell_latency_sec").record(time.perf_counter() - t0)
+    return value
 
 
 def _run_cells(
-    schedulers, cells, runtime, cell_schedulers=None
+    schedulers, cells, runtime, cell_schedulers=None, heartbeat=None
 ) -> list[list[np.ndarray]]:
     """Fan every (cell, scheduler, sequence) task over ``runtime`` and
     reassemble ``values[ci][si]`` in dispatch order (bit-identical for
@@ -158,6 +171,11 @@ def _run_cells(
     instances, so its cells disagree on which schedulers apply).  The
     returned ``values[ci]`` is aligned with ``cell_schedulers[ci]``;
     ``None`` keeps the historical all-schedulers-everywhere behaviour.
+
+    ``heartbeat(ci, seconds)``, when given, is called in the parent after
+    each cell's tasks finish (study progress reporting).  Tasks are then
+    dispatched cell-by-cell — still in the exact global task order, so
+    results stay bit-identical with the single-map path.
     """
     if cell_schedulers is None:
         cell_schedulers = [list(range(len(schedulers)))] * len(cells)
@@ -169,7 +187,21 @@ def _run_cells(
     ]
     with make_backend(runtime) as backend:
         backend.broadcast(_install_matrix_state, list(schedulers), cells)
-        values = backend.map(_matrix_task, tasks, chunksize=runtime.chunksize)
+        if heartbeat is None:
+            values = backend.map(
+                _matrix_task, tasks, chunksize=runtime.chunksize
+            )
+        else:
+            values = []
+            for ci in range(len(cells)):
+                cell_tasks = [t for t in tasks if t[0] == ci]
+                t0 = time.perf_counter()
+                values.extend(
+                    backend.map(
+                        _matrix_task, cell_tasks, chunksize=runtime.chunksize
+                    )
+                )
+                heartbeat(ci, time.perf_counter() - t0)
     out: list[list[np.ndarray]] = []
     cursor = 0
     for (sequences, *_), sched_idx in zip(cells, cell_schedulers):
@@ -270,9 +302,12 @@ def evaluate(
     trace, cluster, metric, backfill, config = _resolve_setting(
         trace, metric, backfill, config
     )
-    matrix = _evaluate_matrix(
-        [scheduler], trace, metric, backfill, config, cluster=cluster
-    )
+    with telemetry_run(
+        config.telemetry, meta={"command": "evaluate", "metric": metric}
+    ):
+        matrix = _evaluate_matrix(
+            [scheduler], trace, metric, backfill, config, cluster=cluster
+        )
     return EvalResult(matrix[0])
 
 
@@ -302,9 +337,13 @@ def compare(
         trace, metric, backfill, config
     )
     items = _named_schedulers(schedulers)
-    matrix = _evaluate_matrix(
-        [s for _, s in items], trace, metric, backfill, config, cluster=cluster
-    )
+    with telemetry_run(
+        config.telemetry, meta={"command": "compare", "metric": metric}
+    ):
+        matrix = _evaluate_matrix(
+            [s for _, s in items], trace, metric, backfill, config,
+            cluster=cluster,
+        )
     return {
         name: EvalResult(matrix[i]) for i, (name, _) in enumerate(items)
     }
@@ -359,8 +398,12 @@ def scenario_matrix(
             cell_metric,
         ))
 
-    runtime = (config or EvalConfig()).runtime
-    values = _run_cells([s for _, s in items], cells, runtime)
+    eval_config = config or EvalConfig()
+    with telemetry_run(
+        eval_config.telemetry,
+        meta={"command": "scenario_matrix", "scenarios": len(resolved)},
+    ):
+        values = _run_cells([s for _, s in items], cells, eval_config.runtime)
     return {
         scen.name: {
             name: EvalResult(values[ci][si])

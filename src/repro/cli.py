@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 
 from . import (
@@ -55,6 +56,7 @@ from . import (
     RuntimeConfig,
     ScenarioConfig,
     StudyConfig,
+    TelemetryConfig,
     TrainConfig,
     compare,
     generalization_matrix,
@@ -67,7 +69,31 @@ from .schedulers import HEURISTICS, RLSchedulerPolicy, make_scheduler
 from .sim.metrics import METRICS, metric_by_name
 from .workloads import available_traces, characterize, write_swf
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "setup_logging"]
+
+logger = logging.getLogger("repro.cli")
+
+
+def setup_logging(verbose: bool = False, quiet: bool = False) -> None:
+    """Route ``repro.*`` diagnostics to stderr at the chosen level.
+
+    Command *output* (tables, artifacts, result rows) stays on stdout via
+    plain ``print``; everything advisory — progress, notes, warnings —
+    goes through per-module loggers so shell pipelines over stdout stay
+    machine-parseable.  Idempotent: re-running replaces the handler, so
+    repeated ``main()`` calls (tests) don't stack duplicates.
+    """
+    level = logging.WARNING if quiet else (
+        logging.DEBUG if verbose else logging.INFO
+    )
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="RLScheduler reproduction: RL-based HPC batch job scheduling",
     )
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="debug-level diagnostics on stderr")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="warnings and errors only on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("traces", help="list workloads and their statistics")
@@ -115,6 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="path to a saved RL policy (.npz) to include")
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="fan sequences over N worker processes (1 = serial)")
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="enable telemetry and write the repro/telemetry@1 "
+                        "JSONL trace to PATH")
 
     p = sub.add_parser(
         "compare", help="scenario × scheduler evaluation matrix"
@@ -184,6 +217,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="episodes past the staleness bound: exclude from "
                         "the update (drop) or keep and let PPO's importance "
                         "ratios reweight them")
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="enable telemetry and write the repro/telemetry@1 "
+                        "JSONL trace to PATH")
     p.add_argument("-o", "--output", required=True)
 
     p = sub.add_parser(
@@ -235,10 +271,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--staleness", type=_nonnegative_int, default=0,
                    help="async rollouts: staleness bound in updates "
                         "(0 = fully synchronous)")
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="enable telemetry and write the repro/telemetry@1 "
+                        "JSONL trace to PATH")
     p.add_argument("-o", "--output", default=None,
                    help="write the generalization-matrix JSON artifact")
 
     return parser
+
+
+def _telemetry_config(args) -> TelemetryConfig | None:
+    """``--telemetry PATH`` -> config, ``None`` when the flag is absent."""
+    path = getattr(args, "telemetry", None)
+    if path is None:
+        return None
+    return TelemetryConfig(enabled=True, path=path)
 
 
 def _positive_int(text: str) -> int:
@@ -302,6 +349,7 @@ def _cmd_evaluate(args) -> int:
         config = EvalConfig(
             n_sequences=args.sequences, sequence_length=args.length,
             seed=eval_seed, runtime=runtime,
+            telemetry=_telemetry_config(args),
             scenario=ScenarioConfig(name=args.scenario, n_jobs=args.jobs,
                                     seed=args.seed),
         )
@@ -317,7 +365,8 @@ def _cmd_evaluate(args) -> int:
                                swf_dir=args.swf_dir)
         config = EvalConfig(n_sequences=args.sequences,
                             sequence_length=args.length, seed=42,
-                            runtime=runtime)
+                            runtime=runtime,
+                            telemetry=_telemetry_config(args))
         n_procs = trace_arg.max_procs
         metric = args.metric or "bsld"
         backfill = bool(args.backfill)
@@ -330,8 +379,8 @@ def _cmd_evaluate(args) -> int:
             # feature-layout classification against the scenario.
             rl = rl.retarget(scen)
             if rl.compat != "native":
-                print(f"note: {rl.name} deploys {rl.compat} on "
-                      f"scenario {scen.name}")
+                logger.info("note: %s deploys %s on scenario %s",
+                            rl.name, rl.compat, scen.name)
         else:
             # Retarget the saved policy at this cluster through the
             # checked setter: a bogus size fails loudly here, not mid-run.
@@ -399,7 +448,7 @@ def _cmd_compare(args) -> int:
         with open(args.output, "w") as fh:
             json.dump(doc, fh, indent=2)
             fh.write("\n")
-        print(f"wrote {args.output}")
+        logger.info("wrote %s", args.output)
     return 0
 
 
@@ -436,6 +485,7 @@ def _cmd_train(args) -> int:
             rollout_mode=args.rollout_mode,
             staleness=args.staleness,
             stale_mode=args.stale_mode,
+            telemetry=_telemetry_config(args),
             scenario=scenario_cfg,
         ),
     )
@@ -443,7 +493,7 @@ def _cmd_train(args) -> int:
     sched.save(args.output)
     print(f"trained {args.policy} on {trace_label} for {args.metric}: "
           + _train_summary(result))
-    print(f"saved to {args.output}")
+    logger.info("saved to %s", args.output)
     return 0
 
 
@@ -489,8 +539,9 @@ def _cmd_study(args) -> int:
         runtime=RuntimeConfig.from_workers(args.workers),
         rollout_mode=args.rollout_mode,
         staleness=args.staleness,
+        telemetry=_telemetry_config(args),
     )
-    doc = generalization_matrix(config, progress=print)
+    doc = generalization_matrix(config, progress=logger.info)
     results = doc["results"]
     columns = list(next(iter(results.values())))
     width = max(len(n) for n in results) + 2
@@ -506,12 +557,12 @@ def _cmd_study(args) -> int:
                       if c != "native"}
         if non_native:
             notes = ", ".join(f"{s}: {c}" for s, c in non_native.items())
-            print(f"  {policy_name} deployed cross-layout -> {notes}")
+            logger.info("%s deployed cross-layout -> %s", policy_name, notes)
     if args.output:
         with open(args.output, "w") as fh:
             json.dump(doc, fh, indent=2, allow_nan=False)
             fh.write("\n")
-        print(f"wrote {args.output}")
+        logger.info("wrote %s", args.output)
     return 0
 
 
@@ -528,6 +579,7 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(verbose=args.verbose, quiet=args.quiet)
     return _COMMANDS[args.command](args)
 
 

@@ -21,6 +21,7 @@ __all__ = [
     "RuntimeConfig",
     "ScenarioConfig",
     "StudyConfig",
+    "TelemetryConfig",
     "FeatureLayoutError",
 ]
 
@@ -99,6 +100,30 @@ class RuntimeConfig:
             raise ValueError(f"workers must be >= 1, got {workers}")
         backend = "process" if workers > 1 else "serial"
         return cls(backend=backend, workers=workers, chunksize=chunksize)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability knobs shared by train / evaluate / study runs.
+
+    Telemetry is purely observational: enabling it changes no result bit
+    (pinned by golden tests).  ``path`` selects the ``repro/telemetry@1``
+    JSONL sink (see :mod:`repro.telemetry.sink`); ``summary`` logs the
+    end-of-run summary tree through the ``repro.telemetry`` logger.
+    Enable telemetry *before* runtime backends start — pool workers
+    inherit the enabled flag at spawn, which the config-driven entry
+    points (CLI ``--telemetry``) guarantee by construction.
+    """
+
+    enabled: bool = False
+    #: JSONL sink path (None = record in memory only)
+    path: str | None = None
+    #: log the end-of-run summary tree
+    summary: bool = True
+
+    def __post_init__(self) -> None:
+        if self.path is not None and not self.path:
+            raise ValueError("telemetry path must be non-empty (or None)")
 
 
 @dataclass(frozen=True)
@@ -246,6 +271,8 @@ class TrainConfig:
     #: train inside a named scenario (workload + cluster); None = caller
     #: supplies the trace and cluster explicitly
     scenario: ScenarioConfig | None = None
+    #: observability (spans/metrics + optional JSONL sink); None = off
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if min(self.epochs, self.trajectories_per_epoch, self.trajectory_length) <= 0:
@@ -272,6 +299,8 @@ class TrainConfig:
             raise TypeError("runtime must be a RuntimeConfig")
         if self.scenario is not None and not isinstance(self.scenario, ScenarioConfig):
             raise TypeError("scenario must be a ScenarioConfig (or None)")
+        if self.telemetry is not None and not isinstance(self.telemetry, TelemetryConfig):
+            raise TypeError("telemetry must be a TelemetryConfig (or None)")
 
 
 @dataclass(frozen=True)
@@ -285,6 +314,8 @@ class EvalConfig:
     #: evaluate inside a named scenario (workload + cluster + protocol);
     #: None = caller supplies the trace explicitly
     scenario: ScenarioConfig | None = None
+    #: observability (spans/metrics + optional JSONL sink); None = off
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_sequences <= 0 or self.sequence_length <= 0:
@@ -293,6 +324,8 @@ class EvalConfig:
             raise TypeError("runtime must be a RuntimeConfig")
         if self.scenario is not None and not isinstance(self.scenario, ScenarioConfig):
             raise TypeError("scenario must be a ScenarioConfig (or None)")
+        if self.telemetry is not None and not isinstance(self.telemetry, TelemetryConfig):
+            raise TypeError("telemetry must be a TelemetryConfig (or None)")
 
 
 @dataclass(frozen=True)
@@ -340,6 +373,8 @@ class StudyConfig:
     sequence_length: int | None = None
     on_mismatch: str = "adapt"
     runtime: RuntimeConfig = RuntimeConfig()
+    #: observability (spans/metrics + optional JSONL sink); None = off
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
@@ -368,3 +403,5 @@ class StudyConfig:
             raise ValueError(f"staleness must be >= 0, got {self.staleness}")
         if not isinstance(self.runtime, RuntimeConfig):
             raise TypeError("runtime must be a RuntimeConfig")
+        if self.telemetry is not None and not isinstance(self.telemetry, TelemetryConfig):
+            raise TypeError("telemetry must be a TelemetryConfig (or None)")

@@ -35,6 +35,7 @@ from repro.nn import (
     valid_rows,
 )
 from repro.runtime.grad import GradientReducer
+from repro.telemetry import core as _telemetry
 
 __all__ = ["PPOAgent", "UpdateStats"]
 
@@ -326,13 +327,23 @@ class PPOAgent:
             raise ValueError("empty update batch")
         batch_size = min(cfg.minibatch_size, n)
 
+        # Per-iteration spans carry the update path in the name so dense
+        # and sparse timings stay distinguishable in one trace; KL rides
+        # as a gauge (clip-frac is recorded inside _policy_step, where the
+        # ratios exist).
+        reg = _telemetry.current()
+        pi_span = f"update.policy_iter.{cfg.update_path}"
+        kl_gauge = reg.gauge("update.kl")
+
         pi_losses, kls, entropies = [], [], []
         early_stopped = False
         iters_run = 0
         for _ in range(cfg.train_pi_iters):
             idx = self._minibatch_indices(n, batch_size)
-            loss_pi, kl, ent = self._policy_step(data, idx)
+            with reg.span(pi_span):
+                loss_pi, kl, ent = self._policy_step(data, idx)
             iters_run += 1
+            kl_gauge.set(kl)
             pi_losses.append(loss_pi)
             kls.append(kl)
             entropies.append(ent)
@@ -343,7 +354,8 @@ class PPOAgent:
         v_losses = []
         for _ in range(cfg.train_v_iters):
             idx = self._minibatch_indices(n, batch_size)
-            v_losses.append(self._value_step(data, idx))
+            with reg.span("update.value_iter"):
+                v_losses.append(self._value_step(data, idx))
 
         return UpdateStats(
             policy_loss=float(np.mean(pi_losses)),
@@ -383,6 +395,15 @@ class PPOAgent:
         loss.backward()
         clip_grad_norm(self.pi_optimizer.params, cfg.max_grad_norm)
         self.pi_optimizer.step()
+
+        reg = _telemetry.current()
+        if reg.enabled:
+            # Fraction of samples whose importance ratio hit the clip
+            # boundary — pure read of already-computed values, so the
+            # update itself is bit-identical with telemetry off.
+            ratio = np.exp(logp.numpy() - batch["log_probs"])
+            clip_frac = float(np.mean(np.abs(ratio - 1.0) > cfg.clip_ratio))
+            reg.gauge("update.clip_frac").set(clip_frac)
 
         kl = float(np.mean(batch["log_probs"] - logp.numpy()))
         return float(loss.item()), kl, float(ent.item())

@@ -62,6 +62,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import json
+import logging
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -69,6 +70,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.config import EnvConfig, PPOConfig, RuntimeConfig, TrainConfig
+from repro.telemetry import core as _telemetry
+from repro.telemetry.sink import TelemetrySink, render_summary
 from repro.nn import Module, ValueMLP, make_policy
 from repro.runtime import ActorRuntime, EpisodeSlice, ShardedVecSchedGym
 from repro.runtime.seeding import stream_rng
@@ -87,6 +90,8 @@ from .reward import make_reward
 
 __all__ = ["EpochRecord", "TrainingResult", "Trainer", "train"]
 
+logger = logging.getLogger("repro.rl.trainer")
+
 
 @dataclass(frozen=True)
 class EpochRecord:
@@ -104,6 +109,12 @@ class EpochRecord:
     #: excluded from (dropped) or importance-reweighted into this update
     n_stale_dropped: int = 0
     n_stale_reweighted: int = 0
+    #: telemetry runs only: per-phase wall seconds for this epoch
+    #: (``rollout`` / ``update`` / ``broadcast`` / ``validate``), read
+    #: from the epoch spans; ``None`` when telemetry is disabled.  Old
+    #: records without the field load with the default (the ``kl_last``
+    #: compat pattern).
+    phase_times: dict | None = None
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -374,6 +385,34 @@ class Trainer:
             config=self.env_config,
         )
 
+        # Telemetry ownership: a TrainConfig that asks for telemetry
+        # activates the process-wide registry unless an enclosing run
+        # (study, bench session) already owns one — in that case this
+        # trainer just records into it.  Activation happens here, before
+        # any backend starts, so pool workers inherit the enabled flag.
+        tcfg = self.train_config.telemetry
+        self._owns_telemetry = False
+        self._tel_prev: _telemetry.Telemetry | None = None
+        self._sink: TelemetrySink | None = None
+        if tcfg is not None and tcfg.enabled:
+            if not _telemetry.enabled():
+                self._tel_prev = _telemetry.set_active(
+                    _telemetry.Telemetry(enabled=True)
+                )
+                self._owns_telemetry = True
+            if tcfg.path:
+                self._sink = TelemetrySink(
+                    tcfg.path,
+                    meta={
+                        "command": "train",
+                        "trace": trace.name,
+                        "metric": metric,
+                        "epochs": self.train_config.epochs,
+                        "rollout_mode": self.train_config.rollout_mode,
+                        "workers": self.train_config.runtime.workers,
+                    },
+                )
+
         self.filter: TrajectoryFilter | None = None
         if self.train_config.use_trajectory_filter:
             self.filter = TrajectoryFilter(
@@ -503,7 +542,15 @@ class Trainer:
         rngs: list[np.random.Generator],
         buffer: TrajectoryBuffer,
     ) -> list[float]:
-        """Roll all sequences through the vec env; rewards by trajectory."""
+        """Roll all sequences through the vec env; rewards by trajectory.
+
+        Phase timing (``rollout.policy_forward`` / ``rollout.env_step`` /
+        ``rollout.buffer``) is accumulated locally and flushed to the
+        registry once per call — the per-step cost when telemetry is off
+        is a single boolean test, and when on it is two clock reads per
+        phase.  These spans are the single instrumentation source for
+        phase fractions; the perf bench reads the same names.
+        """
         vec = self.vec_env
         n = min(vec.n_envs, len(sequences))
         obs, masks = vec.reset(sequences[:n])
@@ -512,6 +559,12 @@ class Trainer:
         next_traj = n
         rewards: list[float] = [0.0] * len(sequences)
         scale = self._reward_scale or 1.0
+        reg = _telemetry.current()
+        timed = reg.enabled
+        perf = time.perf_counter
+        t_policy = t_env = t_buffer = 0.0
+        n_waves = 0
+        n_env_steps = 0
         while True:
             active_idx = np.flatnonzero(vec.active)
             if not len(active_idx):
@@ -519,13 +572,26 @@ class Trainer:
             slots = [traj_of_env[i] for i in active_idx]
             a_obs = obs[active_idx]
             a_masks = masks[active_idx]
+            if timed:
+                t0 = perf()
             actions, log_probs = self.agent.act_batch(
                 a_obs, a_masks, [rngs[s] for s in slots]
             )
+            if timed:
+                t1 = perf()
+                t_policy += t1 - t0
             buffer.store_batch(a_obs, a_masks, actions, log_probs, slots=slots)
             full_actions = np.full(vec.n_envs, -1, dtype=np.int64)
             full_actions[active_idx] = actions
+            if timed:
+                t0 = perf()
+                t_buffer += t0 - t1
             result = vec.step(full_actions)
+            if timed:
+                t1 = perf()
+                t_env += t1 - t0
+                n_waves += 1
+                n_env_steps += len(active_idx)
             for i in active_idx:
                 if not result.dones[i]:
                     continue
@@ -539,7 +605,14 @@ class Trainer:
                 if result.infos[i].get("auto_reset"):
                     traj_of_env[i] = next_traj
                     next_traj += 1
+            if timed:
+                t_buffer += perf() - t1
             obs, masks = result.observations, result.action_masks
+        if timed and n_waves:
+            reg.add_span_time("rollout.policy_forward", t_policy, n_waves)
+            reg.add_span_time("rollout.env_step", t_env, n_waves)
+            reg.add_span_time("rollout.buffer", t_buffer, n_waves)
+            reg.counter("rollout.env_steps").add(n_env_steps)
         return rewards
 
     # -- async (episode-granular) collection ----------------------------
@@ -606,12 +679,20 @@ class Trainer:
         scale = self._reward_scale or 1.0
         rewards: list[float] = []
         n_dropped = n_reweighted = n_kept = 0
+        reg = _telemetry.current()
+        tel_staleness = (
+            reg.histogram("rollout.staleness", bounds=_telemetry.INT_BOUNDS)
+            if reg.enabled
+            else None
+        )
         for ep in episodes:
             rewards.append(ep.reward)
             # Staleness at *consumption* time: updates run since the
             # episode's weights were current (drain() stamps its own view,
             # but early-arriving episodes age while parked).
             staleness = self._n_updates - ep.version
+            if tel_staleness is not None:
+                tel_staleness.record(staleness)
             if staleness > cfg.staleness:
                 if cfg.stale_mode == "drop":
                     n_dropped += 1
@@ -630,55 +711,72 @@ class Trainer:
     def run_epoch(self, epoch: int) -> EpochRecord:
         cfg = self.train_config
         filtered = self._epoch_filtered(epoch)
+        reg = _telemetry.current()
 
         start = time.perf_counter()
         buffer = TrajectoryBuffer(
             gamma=self.ppo_config.gamma, lam=self.ppo_config.lam
         )
-        if self._reward_scale is None:
-            # Calibrate the reward scale with one throwaway rollout so the
-            # very first update already sees well-conditioned value targets.
-            probe_jobs, _ = self._sample_sequence(filtered)
-            probe_rng = stream_rng(cfg.seed, self._PROBE_STREAM, epoch)
-            probe_reward = self._rollout(probe_jobs, TrajectoryBuffer(), probe_rng)
-            self._reward_scale = max(abs(probe_reward), 1e-6)
+        with reg.span("epoch.rollout") as sp_rollout:
+            if self._reward_scale is None:
+                # Calibrate the reward scale with one throwaway rollout so
+                # the very first update already sees well-conditioned value
+                # targets.
+                probe_jobs, _ = self._sample_sequence(filtered)
+                probe_rng = stream_rng(cfg.seed, self._PROBE_STREAM, epoch)
+                probe_reward = self._rollout(
+                    probe_jobs, TrajectoryBuffer(), probe_rng
+                )
+                self._reward_scale = max(abs(probe_reward), 1e-6)
 
-        n_dropped = n_reweighted = 0
-        if cfg.rollout_mode == "async":
-            rewards, n_dropped, n_reweighted, n_kept, total_rejected = (
-                self._collect_async(epoch, buffer)
-            )
-        else:
-            sequences, total_rejected = self._sample_epoch_sequences(epoch)
-            self._epoch_sequences.pop(epoch)
-            rngs = [self._traj_rng(epoch, t) for t in range(len(sequences))]
-            if cfg.vectorized:
-                rewards = self._collect_vectorized(sequences, rngs, buffer)
+            n_dropped = n_reweighted = 0
+            if cfg.rollout_mode == "async":
+                rewards, n_dropped, n_reweighted, n_kept, total_rejected = (
+                    self._collect_async(epoch, buffer)
+                )
             else:
-                rewards = [
-                    self._rollout(jobs, buffer, rngs[t], slot=t)
-                    for t, jobs in enumerate(sequences)
-                ]
-            n_kept = len(sequences)
+                sequences, total_rejected = self._sample_epoch_sequences(epoch)
+                self._epoch_sequences.pop(epoch)
+                rngs = [self._traj_rng(epoch, t) for t in range(len(sequences))]
+                if cfg.vectorized:
+                    rewards = self._collect_vectorized(sequences, rngs, buffer)
+                else:
+                    rewards = [
+                        self._rollout(jobs, buffer, rngs[t], slot=t)
+                        for t, jobs in enumerate(sequences)
+                    ]
+                n_kept = len(sequences)
 
-        if n_kept == 0:
-            # Every episode fell past the staleness bound in drop mode;
-            # there is nothing to update on.  Record a no-op epoch rather
-            # than crash — the weights (and version) stay put.
-            stats = UpdateStats(
-                policy_loss=float("nan"), value_loss=float("nan"),
-                kl=float("nan"), entropy=float("nan"),
-                pi_iters_run=0, early_stopped=False,
-            )
-        else:
-            stats = self.agent.update(buffer.get())
-        if cfg.rollout_mode == "async" and n_kept > 0:
-            self._n_updates += 1
-            self.actor_runtime.push_weights(
-                self._n_updates, self.agent.export_weights()
-            )
+        with reg.span("epoch.update") as sp_update:
+            if n_kept == 0:
+                # Every episode fell past the staleness bound in drop mode;
+                # there is nothing to update on.  Record a no-op epoch
+                # rather than crash — the weights (and version) stay put.
+                stats = UpdateStats(
+                    policy_loss=float("nan"), value_loss=float("nan"),
+                    kl=float("nan"), entropy=float("nan"),
+                    pi_iters_run=0, early_stopped=False,
+                )
+            else:
+                stats = self.agent.update(buffer.get())
+        with reg.span("epoch.broadcast") as sp_broadcast:
+            if cfg.rollout_mode == "async" and n_kept > 0:
+                self._n_updates += 1
+                self.actor_runtime.push_weights(
+                    self._n_updates, self.agent.export_weights()
+                )
         mean_reward = float(np.mean(rewards))
         sign = 1.0 if self._higher_is_better else -1.0
+        with reg.span("epoch.validate") as sp_validate:
+            val_reward = self._validate()
+        phase_times = None
+        if reg.enabled:
+            phase_times = {
+                "rollout": sp_rollout.elapsed,
+                "update": sp_update.elapsed,
+                "broadcast": sp_broadcast.elapsed,
+                "validate": sp_validate.elapsed,
+            }
         return EpochRecord(
             epoch=epoch,
             mean_metric=sign * mean_reward,
@@ -687,9 +785,10 @@ class Trainer:
             n_rejected=total_rejected,
             wall_time=time.perf_counter() - start,
             filtered_phase=filtered,
-            val_reward=self._validate(),
+            val_reward=val_reward,
             n_stale_dropped=n_dropped,
             n_stale_reweighted=n_reweighted,
+            phase_times=phase_times,
         )
 
     def _validate(self) -> float:
@@ -733,7 +832,15 @@ class Trainer:
                     self._actor_runtime.close()
                     self._actor_runtime = None
             finally:
-                self.agent.close()
+                try:
+                    self.agent.close()
+                finally:
+                    if self._sink is not None:
+                        self._sink.close()
+                        self._sink = None
+                    if self._owns_telemetry:
+                        _telemetry.set_active(self._tel_prev)
+                        self._owns_telemetry = False
 
     def __enter__(self) -> "Trainer":
         return self
@@ -767,6 +874,32 @@ class Trainer:
                     f"{record.wall_time:5.1f}s"
                     + ("  [filtered]" if record.filtered_phase else "")
                 )
+            if record.phase_times is not None:
+                pt = record.phase_times
+                logger.info(
+                    "epoch %3d  rollout %.2fs  update %.2fs  broadcast %.2fs  "
+                    "validate %.2fs  kl %.4f",
+                    epoch, pt["rollout"], pt["update"], pt["broadcast"],
+                    pt["validate"], record.stats.kl,
+                )
+            if self._sink is not None:
+                self._sink.write_event(
+                    "epoch",
+                    epoch=epoch,
+                    mean_metric=record.mean_metric,
+                    mean_reward=record.mean_reward,
+                    val_reward=record.val_reward,
+                    kl=record.stats.kl,
+                    wall_time=record.wall_time,
+                    phases=record.phase_times,
+                )
+        tcfg = self.train_config.telemetry
+        if tcfg is not None and tcfg.enabled:
+            snap = _telemetry.current().snapshot()
+            if self._sink is not None:
+                self._sink.write_snapshot(snap)
+            if tcfg.summary and not snap.empty:
+                logger.info(render_summary(snap))
         return result
 
 

@@ -33,6 +33,7 @@ log-probs, so reweighting is automatic); the runtime only measures.
 
 from __future__ import annotations
 
+import time as _time
 from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
@@ -40,6 +41,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.config import EnvConfig, RuntimeConfig
+from repro.telemetry import core as _telemetry
 
 from .backend import ExecutionBackend, WorkerError, make_backend
 from .seeding import stream_rng
@@ -115,11 +117,15 @@ def _actor_episodes(state, epoch, assignments):
     :class:`EpisodeSlice` per assignment, in trajectory order.
     """
     agent, vec = state["agent"], state["vec"]
+    reg = _telemetry.current()
+    timed = reg.enabled
+    perf = _time.perf_counter
     trajs = [traj for traj, _ in assignments]
-    sequences = [
-        _decode_jobs(jobs) if isinstance(jobs, np.ndarray) else jobs
-        for _, jobs in assignments
-    ]
+    with reg.span("rollout.decode_jobs"):
+        sequences = [
+            _decode_jobs(jobs) if isinstance(jobs, np.ndarray) else jobs
+            for _, jobs in assignments
+        ]
     rngs = {
         traj: stream_rng(state["seed"], state["act_stream"], epoch, traj)
         for traj in trajs
@@ -142,6 +148,12 @@ def _actor_episodes(state, epoch, assignments):
         for traj, seq in zip(trajs, sequences)
     }
     rewards: dict[int, float] = {}
+    # Same phase accounting (and span names) as the trainer's lock-step
+    # collector, recorded into this worker's registry — the parent sees
+    # them worker-labelled via the result-message piggyback.
+    t_policy = t_env = t_buffer = 0.0
+    n_waves = 0
+    n_env_steps = 0
     while True:
         active_idx = np.flatnonzero(vec.active)
         if not len(active_idx):
@@ -149,7 +161,12 @@ def _actor_episodes(state, epoch, assignments):
         a_obs = obs[active_idx]
         a_masks = masks[active_idx]
         acting = [traj_of_env[i] for i in active_idx]
+        if timed:
+            t0 = perf()
         actions, _ = agent.act_batch(a_obs, a_masks, [rngs[t] for t in acting])
+        if timed:
+            t1 = perf()
+            t_policy += t1 - t0
         for j, traj in enumerate(acting):
             ep_obs, ep_masks, ep_actions = bufs[traj]
             t = len(ep_actions)
@@ -162,7 +179,14 @@ def _actor_episodes(state, epoch, assignments):
             ep_actions.append(int(actions[j]))
         full = np.full(vec.n_envs, -1, dtype=np.int64)
         full[active_idx] = actions
+        if timed:
+            t0 = perf()
+            t_buffer += t0 - t1
         result = vec.step(full)
+        if timed:
+            t_env += perf() - t0
+            n_waves += 1
+            n_env_steps += len(active_idx)
         for i in active_idx:
             if result.dones[i]:
                 rewards[traj_of_env[i]] = float(result.rewards[i])
@@ -170,6 +194,11 @@ def _actor_episodes(state, epoch, assignments):
                     traj_of_env[i] = trajs[next_idx]
                     next_idx += 1
         obs, masks = result.observations, result.action_masks
+    if timed and n_waves:
+        reg.add_span_time("rollout.policy_forward", t_policy, n_waves)
+        reg.add_span_time("rollout.env_step", t_env, n_waves)
+        reg.add_span_time("rollout.buffer", t_buffer, n_waves)
+        reg.counter("rollout.env_steps").add(n_env_steps)
 
     slices = []
     pack_ok = False
@@ -449,10 +478,11 @@ class ActorRuntime:
         self._require_installed()
         wire = self.backend.crosses_process_boundary
         chunks: dict[int, list] = {}
-        for traj, jobs in assignments:
-            chunks.setdefault(int(traj) % self.n_workers, []).append(
-                (int(traj), _encode_jobs(jobs) if wire else jobs)
-            )
+        with _telemetry.current().span("runtime.ipc.encode_jobs"):
+            for traj, jobs in assignments:
+                chunks.setdefault(int(traj) % self.n_workers, []).append(
+                    (int(traj), _encode_jobs(jobs) if wire else jobs)
+                )
         for w in sorted(chunks):
             self.backend.post(w, _actor_episodes, int(epoch), chunks[w])
             self._kinds[w].append(("episodes", len(chunks[w])))
@@ -478,13 +508,22 @@ class ActorRuntime:
             if kind == "weights":
                 continue  # load-weights ack, nothing to deliver
             self._n_episodes_pending -= count
-            self._ready.extend(payload)
-        episode = self._ready.popleft()
+            self._ready.extend((worker, ep) for ep in payload)
+        worker, episode = self._ready.popleft()
         episode.masks = _unpack_masks(
             episode.masks, self.config.observation_shape[0]
         )
         episode.obs = _unpack_obs(episode.obs, episode.masks)
         episode.staleness = self._version - episode.version
+        reg = _telemetry.current()
+        if reg.enabled:
+            # Worker-labelled by hand (same name shape that absorb()
+            # produces) so per-actor staleness distributions land in the
+            # merged snapshot next to the piggybacked worker metrics.
+            reg.histogram(
+                f"runtime.actor.staleness{{worker={worker}}}",
+                bounds=_telemetry.INT_BOUNDS,
+            ).record(episode.staleness)
         return episode
 
     def _require_installed(self) -> None:

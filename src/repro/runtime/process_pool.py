@@ -24,6 +24,15 @@ asynchronously wedging the queue's feeder thread.
 Task functions and their arguments must be picklable; define worker
 functions at module top level.  Exceptions raised in a worker come back
 pickled and re-raise in the parent as :class:`WorkerError`.
+
+Telemetry piggybacks on this protocol: when the parent's telemetry is
+enabled at spawn time, every worker activates its own registry and every
+reply — pipe or queue — carries the worker's snapshot *delta* as a third
+element.  The parent absorbs deltas under worker-labelled metric names
+as replies drain, so per-worker telemetry (IPC queue wait, task and
+encode time, plus whatever the task functions record) aggregates without
+any extra round trips.  When telemetry is disabled the extra element is
+``None`` and the worker loop does no timing at all.
 """
 
 from __future__ import annotations
@@ -35,6 +44,8 @@ import time
 from multiprocessing.connection import Connection, wait
 from typing import Sequence
 
+from repro.telemetry import core as _telemetry
+
 from .backend import ExecutionBackend, TaskFn, WorkerError
 
 __all__ = ["ProcessPoolBackend"]
@@ -42,25 +53,44 @@ __all__ = ["ProcessPoolBackend"]
 _SHUTDOWN = None  # pipe sentinel
 
 
-def _worker_main(conn: Connection, result_queue, worker_id: int) -> None:
+def _worker_main(
+    conn: Connection, result_queue, worker_id: int, telemetry_enabled: bool = False
+) -> None:
     """Command loop: ``(fn, args, via_queue)`` in, results out.
 
     ``via_queue=False`` (scatter/map) answers on the pipe with
-    ``("ok", result) | ("err", exc)``; ``via_queue=True`` (posted tasks)
-    puts a pre-pickled ``(worker_id, status, payload)`` blob on the
-    shared result queue instead.
+    ``("ok", result, tel) | ("err", exc, tel)``; ``via_queue=True``
+    (posted tasks) puts a pre-pickled ``(worker_id, status, payload,
+    tel)`` blob on the shared result queue instead.  ``tel`` is the
+    worker's telemetry snapshot delta (or ``None`` when disabled/empty).
     """
     state: dict = {}
+    reg = None
+    if telemetry_enabled:
+        reg = _telemetry.Telemetry(enabled=True)
+        _telemetry.set_active(reg)
+    perf = time.perf_counter
     while True:
         try:
-            msg = conn.recv()
+            if reg is not None:
+                t0 = perf()
+                msg = conn.recv()
+                reg.histogram("runtime.ipc.queue_wait_sec").record(perf() - t0)
+            else:
+                msg = conn.recv()
         except (EOFError, KeyboardInterrupt):
             break
         if msg is _SHUTDOWN:
             break
         fn, args, via_queue = msg
         try:
-            reply = ("ok", fn(state, *args))
+            if reg is not None:
+                t0 = perf()
+                result = fn(state, *args)
+                reg.add_span_time("runtime.worker.task", perf() - t0)
+            else:
+                result = fn(state, *args)
+            reply = ("ok", result)
         except KeyboardInterrupt:
             break
         except BaseException as exc:  # ship the failure, keep the loop alive
@@ -69,14 +99,23 @@ def _worker_main(conn: Connection, result_queue, worker_id: int) -> None:
                 reply = ("err", exc)
             except Exception:  # unpicklable exception: a plain stand-in
                 reply = ("err", RuntimeError(f"{type(exc).__name__}: {exc}"))
+        tel = None
+        if reg is not None and reg.has_data():
+            tel = reg.drain()
         if not via_queue:
-            conn.send(reply)
+            conn.send(reply + (tel,))
             continue
         try:
-            blob = pickle.dumps((worker_id,) + reply)
+            if reg is not None:
+                t0 = perf()
+                blob = pickle.dumps((worker_id,) + reply + (tel,))
+                # encode time for *this* blob rides the next reply
+                reg.add_span_time("runtime.ipc.encode", perf() - t0)
+            else:
+                blob = pickle.dumps((worker_id,) + reply + (tel,))
         except Exception as exc:  # unpicklable *result*: fail the task
             blob = pickle.dumps(
-                (worker_id, "err", RuntimeError(f"unpicklable result: {exc}"))
+                (worker_id, "err", RuntimeError(f"unpicklable result: {exc}"), None)
             )
         result_queue.put(blob)
 
@@ -106,11 +145,14 @@ class ProcessPoolBackend(ExecutionBackend):
         ctx = mp.get_context()
         self._result_queue = ctx.Queue()
         self._posted_counts = [0] * self.n_workers
+        # Workers inherit the parent's telemetry enablement at spawn time;
+        # enabling telemetry after the pool starts leaves workers dark.
+        telemetry_enabled = _telemetry.enabled()
         for worker_id in range(self.n_workers):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child_conn, self._result_queue, worker_id),
+                args=(child_conn, self._result_queue, worker_id, telemetry_enabled),
                 daemon=True,
             )
             proc.start()
@@ -133,7 +175,7 @@ class ProcessPoolBackend(ExecutionBackend):
                     if self._posted_counts[w] and not proc.is_alive():
                         self._posted_counts[w] = 0
                 continue
-            worker, _status, _payload = pickle.loads(blob)
+            worker, _status, _payload, _tel = pickle.loads(blob)
             self._posted_counts[worker] -= 1
         for conn in self._conns:
             try:
@@ -155,14 +197,20 @@ class ProcessPoolBackend(ExecutionBackend):
         self._posted_counts = []
 
     # -- dispatch -------------------------------------------------------
+    @staticmethod
+    def _absorb_telemetry(worker_id: int, tel) -> None:
+        if tel is not None:
+            _telemetry.current().absorb(tel, worker=worker_id)
+
     def _recv(self, worker_id: int):
         conn = self._conns[worker_id]
         try:
-            status, payload = conn.recv()
+            status, payload, tel = conn.recv()
         except EOFError:
             raise WorkerError(
                 worker_id, RuntimeError("worker died mid-task (pipe closed)")
             ) from None
+        self._absorb_telemetry(worker_id, tel)
         if status == "err":
             raise WorkerError(worker_id, payload) from payload
         return payload
@@ -271,8 +319,9 @@ class ProcessPoolBackend(ExecutionBackend):
                             w, RuntimeError("worker died with posted task(s) pending")
                         ) from None
                 continue
-            worker, status, payload = pickle.loads(blob)
+            worker, status, payload, tel = pickle.loads(blob)
             self._posted_counts[worker] -= 1
+            self._absorb_telemetry(worker, tel)
             if status == "err":
                 raise WorkerError(worker, payload) from payload
             return worker, payload

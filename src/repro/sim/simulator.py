@@ -23,6 +23,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Sequence
 
+from repro.telemetry import core as _telemetry
 from repro.workloads.job import Job
 
 from .backfill import backfill_candidates, conservative_backfill_candidates
@@ -98,6 +99,17 @@ class SchedulingEngine:
         self._running: dict[int, Job] = {}  # job_id -> Job, insertion-ordered
         self.completed: list[Job] = []
         self._events = EventQueue()
+        #: events processed so far (arrivals + finishes); drives the
+        #: telemetry events/s rate without touching the per-event path
+        self.n_events = 0
+        # The pending-depth instrument is resolved once per episode: the
+        # decision loop pays a single None check when telemetry is off.
+        _reg = _telemetry.current()
+        self._tel_depth = (
+            _reg.histogram("engine.pending_depth", bounds=_telemetry.INT_BOUNDS)
+            if _reg.enabled
+            else None
+        )
         for j in self.jobs:
             self._events.push(j.submit_time, EventKind.ARRIVAL, j)
 
@@ -146,6 +158,7 @@ class SchedulingEngine:
         time, kind, job_id, job = self._events.pop_raw()
         assert time >= self.now, "event queue went backwards in time"
         self.now = time
+        self.n_events += 1
         if kind == EventKind.FINISH:
             self.cluster.release(job)
             del self._running[job_id]
@@ -175,6 +188,8 @@ class SchedulingEngine:
             if not self._events:
                 return False  # nothing pending, nothing queued: done
             self._process_next_event()
+        if self._tel_depth is not None:
+            self._tel_depth.record(len(self.pending))
         return True
 
     def commit(self, job: Job) -> None:
@@ -221,14 +236,20 @@ def run_scheduler(
     """
     engine = SchedulingEngine(jobs, n_procs, backfill=backfill)
     select = getattr(scheduler, "select", None)
-    while engine.advance_until_decision():
-        if select is not None:
-            best = select(engine.pending, engine.now, engine.cluster)
-        else:
-            best = min(
-                engine.pending,
-                key=lambda j: (scheduler(j, engine.now, engine.cluster), j.job_id),
-            )
-        engine.commit(best)
+    reg = _telemetry.current()
+    with reg.span("engine.episode"):
+        while engine.advance_until_decision():
+            if select is not None:
+                best = select(engine.pending, engine.now, engine.cluster)
+            else:
+                best = min(
+                    engine.pending,
+                    key=lambda j: (scheduler(j, engine.now, engine.cluster), j.job_id),
+                )
+            engine.commit(best)
     assert engine.done, "engine stopped before completing all jobs"
+    if reg.enabled:
+        # events/s = engine.events / span total of engine.episode
+        reg.counter("engine.events").add(engine.n_events)
+        reg.counter("engine.decisions").add(len(engine.completed))
     return engine.completed

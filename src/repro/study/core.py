@@ -46,6 +46,7 @@ from repro.rl.trainer import Trainer, TrainingResult
 from repro.scenarios import Scenario, available_scenarios, get_scenario
 from repro.schedulers import RLSchedulerPolicy, make_scheduler
 from repro.sim.metrics import metric_by_name
+from repro.telemetry.sink import telemetry_run
 from repro.workloads.sampler import SequenceSampler
 
 __all__ = [
@@ -217,57 +218,83 @@ def generalization_matrix(
     """
     config = config or StudyConfig()
     scenarios = _study_scenarios(config)
-    if trained is None:
-        trained = train_matrix(config, progress=progress)
-    policies = list(trained.values())
+    with telemetry_run(
+        config.telemetry,
+        meta={"command": "study", "scenarios": [s.name for s in scenarios]},
+    ) as sink:
+        if trained is None:
+            trained = train_matrix(config, progress=progress)
+        policies = list(trained.values())
 
-    heuristics = [make_scheduler(n) for n in config.heuristics]
-    names = [s.name for s in heuristics] + [p.name for p in policies]
-    if len(set(names)) != len(names):
-        raise ValueError(f"scheduler names must be unique, got {names}")
+        heuristics = [make_scheduler(n) for n in config.heuristics]
+        names = [s.name for s in heuristics] + [p.name for p in policies]
+        if len(set(names)) != len(names):
+            raise ValueError(f"scheduler names must be unique, got {names}")
 
-    # Global scheduler list: the heuristics apply to every cell; each
-    # trained policy contributes one retargeted instance per scenario
-    # (n_procs and the feature-compat mode differ cell to cell).  The
-    # best-epoch deployment is scenario-independent — build it once per
-    # policy; retarget() clones per scenario.
-    schedulers: list = list(heuristics)
-    deployed = {p.name: p.result.as_scheduler(name=p.name) for p in policies}
-    cells, cell_schedulers = [], []
-    compat: dict[str, dict[str, str]] = {p.name: {} for p in policies}
-    for scenario in scenarios:
-        protocol = scenario.protocol
-        metric = config.metric or protocol.metric
-        metric_by_name(metric)  # fail fast in the parent
-        n_sequences = config.n_sequences or protocol.n_sequences
-        sequence_length = config.sequence_length or protocol.sequence_length
-        sampler = SequenceSampler(
-            scenario.build_trace(n_jobs=config.n_jobs),
-            sequence_length,
-            seed=protocol.seed,
-        )
-        sched_idx = list(range(len(heuristics)))
-        for policy in policies:
-            retargeted = deployed[policy.name].retarget(
-                scenario, on_mismatch=config.on_mismatch
+        # Global scheduler list: the heuristics apply to every cell; each
+        # trained policy contributes one retargeted instance per scenario
+        # (n_procs and the feature-compat mode differ cell to cell).  The
+        # best-epoch deployment is scenario-independent — build it once per
+        # policy; retarget() clones per scenario.
+        schedulers: list = list(heuristics)
+        deployed = {
+            p.name: p.result.as_scheduler(name=p.name) for p in policies
+        }
+        cells, cell_schedulers = [], []
+        compat: dict[str, dict[str, str]] = {p.name: {} for p in policies}
+        for scenario in scenarios:
+            protocol = scenario.protocol
+            metric = config.metric or protocol.metric
+            metric_by_name(metric)  # fail fast in the parent
+            n_sequences = config.n_sequences or protocol.n_sequences
+            sequence_length = (
+                config.sequence_length or protocol.sequence_length
             )
-            compat[policy.name][scenario.name] = retargeted.compat
-            sched_idx.append(len(schedulers))
-            schedulers.append(retargeted)
-        cells.append((
-            sampler.sample_many(n_sequences),
-            scenario.cluster,
-            protocol.backfill,
-            metric,
-        ))
-        cell_schedulers.append(sched_idx)
-    _say(progress,
-         f"evaluating {len(names)} schedulers x {len(scenarios)} scenarios "
-         f"on the {config.runtime.backend} backend")
+            sampler = SequenceSampler(
+                scenario.build_trace(n_jobs=config.n_jobs),
+                sequence_length,
+                seed=protocol.seed,
+            )
+            sched_idx = list(range(len(heuristics)))
+            for policy in policies:
+                retargeted = deployed[policy.name].retarget(
+                    scenario, on_mismatch=config.on_mismatch
+                )
+                compat[policy.name][scenario.name] = retargeted.compat
+                sched_idx.append(len(schedulers))
+                schedulers.append(retargeted)
+            cells.append((
+                sampler.sample_many(n_sequences),
+                scenario.cluster,
+                protocol.backfill,
+                metric,
+            ))
+            cell_schedulers.append(sched_idx)
+        _say(progress,
+             f"evaluating {len(names)} schedulers x {len(scenarios)} "
+             f"scenarios on the {config.runtime.backend} backend")
 
-    from repro.api import _run_cells  # local: repro.api re-exports us
+        def _heartbeat(ci: int, seconds: float) -> None:
+            """Per-cell progress: _say line + sink heartbeat event."""
+            name = scenarios[ci].name
+            _say(progress,
+                 f"cell {name}: evaluated in {seconds:.2f}s "
+                 f"({ci + 1}/{len(scenarios)})")
+            if sink is not None:
+                sink.write_event(
+                    "heartbeat", cell=name, seconds=seconds,
+                    index=ci, total=len(scenarios),
+                )
 
-    values = _run_cells(schedulers, cells, config.runtime, cell_schedulers)
+        from repro.api import _run_cells  # local: repro.api re-exports us
+
+        # Cell-by-cell dispatch only when someone is listening — the
+        # single-map path and the heartbeat path are bit-identical.
+        wants_heartbeat = progress is not None or sink is not None
+        values = _run_cells(
+            schedulers, cells, config.runtime, cell_schedulers,
+            heartbeat=_heartbeat if wants_heartbeat else None,
+        )
     results = {
         scenario.name: {
             name: {

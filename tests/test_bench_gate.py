@@ -1,10 +1,12 @@
 """Tests for the CI bench-regression gate (benchmarks/perf/check_regression.py).
 
-The gate has two kinds of checks: absolute rollout throughput (gates only
-on comparable hardware) and the within-run speedup ratios — rollout
-vectorization and the sparse-vs-dense PPO update — which gate on every
-platform.  These tests pin the decision table so the CI step stays a real
-gate rather than a decorative one.
+The gate has three kinds of checks: absolute rollout throughput (gates
+only on comparable hardware), the within-run speedup ratios — rollout
+vectorization, the sparse-vs-dense PPO update, the async actor advantage
+— which gate on every platform, and the absolute telemetry-overhead
+floor (enabled/disabled rollout throughput within one run).  These tests
+pin the decision table so the CI step stays a real gate rather than a
+decorative one.
 """
 
 import importlib.util
@@ -20,7 +22,8 @@ _spec.loader.exec_module(check_regression)
 
 
 def bench_doc(steps_per_sec, speedup, python="3.11.7", cpu_count=4,
-              machine="x86_64", sparse_speedup=3.0, actor_ratio=1.6):
+              machine="x86_64", sparse_speedup=3.0, actor_ratio=1.6,
+              telemetry_ratio=0.99):
     return {
         "scales": {
             "smoke": {
@@ -33,6 +36,9 @@ def bench_doc(steps_per_sec, speedup, python="3.11.7", cpu_count=4,
                 "ppo_update": {
                     "sec_per_iter": 0.01,
                     "sparse_speedup": sparse_speedup,
+                },
+                "telemetry": {
+                    "enabled_over_disabled": telemetry_ratio,
                 },
                 "runtime": {
                     "actor": {
@@ -164,6 +170,42 @@ class TestActorRatioGate:
         base = bench_doc(30000, 5.0)
         del base["scales"]["smoke"]["runtime"]
         assert gate(base, bench_doc(29000, 5.0)) == 0
+
+
+class TestTelemetryFloorGate:
+    """``telemetry.enabled_over_disabled`` gates against an *absolute*
+    floor (default 0.95), not the baseline — a telemetry slowdown cannot
+    ratchet in one tolerated baseline bump at a time."""
+
+    def test_over_floor_passes(self, gate):
+        assert gate(bench_doc(30000, 5.0),
+                    bench_doc(29000, 5.0, telemetry_ratio=0.97)) == 0
+
+    def test_under_floor_fails_even_cross_platform(self, gate):
+        base = bench_doc(30000, 5.0, cpu_count=1)
+        cur = bench_doc(29000, 5.0, cpu_count=4, telemetry_ratio=0.90)
+        assert gate(base, cur) == 1
+
+    def test_floor_is_absolute_not_baseline_relative(self, gate):
+        # A degraded baseline must not excuse a degraded current run.
+        base = bench_doc(30000, 5.0, telemetry_ratio=0.80)
+        cur = bench_doc(29000, 5.0, telemetry_ratio=0.90)
+        assert gate(base, cur) == 1
+
+    def test_floor_flag_overrides(self, gate):
+        base = bench_doc(30000, 5.0)
+        cur = bench_doc(29000, 5.0, telemetry_ratio=0.90)
+        assert gate(base, cur, "--telemetry-floor", "0.85") == 0
+        assert gate(base, cur, "--telemetry-floor", "0") == 0  # disabled
+
+    def test_missing_entry_skips_check(self, gate):
+        cur = bench_doc(29000, 5.0)
+        del cur["scales"]["smoke"]["telemetry"]
+        assert gate(bench_doc(30000, 5.0), cur) == 0
+
+    def test_improvement_never_fails(self, gate):
+        assert gate(bench_doc(30000, 5.0),
+                    bench_doc(29000, 5.0, telemetry_ratio=1.05)) == 0
 
 
 class TestInputs:

@@ -63,6 +63,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["study", "--staleness", "-1"])
 
+    def test_verbosity_flags_are_global(self):
+        args = build_parser().parse_args(["-v", "evaluate", "Lublin-1"])
+        assert args.verbose and not args.quiet
+        args = build_parser().parse_args(["--quiet", "traces"])
+        assert args.quiet and not args.verbose
+        args = build_parser().parse_args(["evaluate", "Lublin-1"])
+        assert not args.verbose and not args.quiet
+
+    def test_telemetry_flag_on_run_commands(self):
+        for argv in (
+            ["evaluate", "Lublin-1", "--telemetry", "t.jsonl"],
+            ["train", "Lublin-1", "-o", "m.npz", "--telemetry", "t.jsonl"],
+            ["study", "--telemetry", "t.jsonl"],
+        ):
+            assert build_parser().parse_args(argv).telemetry == "t.jsonl"
+        assert build_parser().parse_args(["evaluate", "Lublin-1"]).telemetry is None
+        # telemetry is a run-command knob, not a global one
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["traces", "--telemetry", "t.jsonl"])
+
 
 class TestCommands:
     def test_traces(self, capsys):
@@ -118,6 +138,34 @@ class TestCommands:
         ])
         assert code == 0
         assert model.exists()
+
+    def test_train_with_telemetry_writes_valid_trace(self, tmp_path, capsys):
+        from repro.telemetry.sink import validate_jsonl
+
+        model = tmp_path / "m.npz"
+        trace = tmp_path / "t.jsonl"
+        code = main([
+            "train", "Lublin-1", "--jobs", "600", "--epochs", "1",
+            "--trajectories", "2", "--length", "16", "--obsv", "8",
+            "--telemetry", str(trace), "-o", str(model),
+        ])
+        assert code == 0
+        assert model.exists()
+        stats = validate_jsonl(str(trace))
+        assert stats["events"]["epoch"] == 1
+        assert "epoch.rollout" in stats["snapshot"]["spans"]
+        # stdout stays machine-parseable: the result line, no diagnostics
+        assert "trained" in capsys.readouterr().out
+
+    def test_evaluate_diagnostics_go_to_stderr(self, capsys):
+        code = main(["-v", "evaluate", "Lublin-1", "--jobs", "600",
+                     "--sequences", "1", "--length", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # stdout holds only the header + table rows, nothing else
+        lines = out.splitlines()
+        assert " on " in lines[0]  # "bsld on Lublin-1 (...)" header
+        assert all("±" in line for line in lines[1:]), lines
 
     def test_train_then_evaluate_with_model(self, tmp_path, capsys):
         model = tmp_path / "m.npz"

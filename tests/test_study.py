@@ -230,9 +230,9 @@ class TestStudyCLI:
             "--eval-length", "24", "-o", str(artifact),
         ]
         assert main(argv) == 0
-        first = capsys.readouterr().out
-        assert "generalization matrix" in first
-        assert "memory-blind" in first
+        captured = capsys.readouterr()
+        assert "generalization matrix" in captured.out  # table on stdout
+        assert "memory-blind" in captured.err           # diagnostics on stderr
         doc = json.loads(artifact.read_text())
         assert doc["schema"] == ARTIFACT_SCHEMA
 
@@ -240,6 +240,6 @@ class TestStudyCLI:
         # the artifact reproduced bit-for-bit
         artifact2 = tmp_path / "gen2.json"
         assert main(argv[:-1] + [str(artifact2)]) == 0
-        second = capsys.readouterr().out
+        second = capsys.readouterr().err
         assert second.count("skipped (checkpoint exists") == 2
         assert json.loads(artifact2.read_text())["results"] == doc["results"]

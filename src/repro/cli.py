@@ -145,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="path to a saved RL policy (.npz) to include")
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="fan sequences over N worker processes (1 = serial)")
+    p.add_argument("--transport", choices=["pipe", "shm"], default="pipe",
+                   help="worker array transport: pickled pipes (reference) "
+                        "or the zero-copy shared-memory plane (same "
+                        "results, far fewer pipe bytes)")
     p.add_argument("--telemetry", metavar="PATH", default=None,
                    help="enable telemetry and write the repro/telemetry@1 "
                         "JSONL trace to PATH")
@@ -170,6 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="fan matrix cells over N worker processes")
+    p.add_argument("--transport", choices=["pipe", "shm"], default="pipe",
+                   help="worker array transport (see evaluate --transport)")
     p.add_argument("-o", "--output", default=None,
                    help="write the matrix as JSON")
 
@@ -193,6 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--swf-dir", default=None)
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="shard rollout envs over N worker processes (1 = serial)")
+    p.add_argument("--transport", choices=["pipe", "shm"], default="pipe",
+                   help="worker array transport (see evaluate --transport); "
+                        "applies to rollout, actor, and gradient workers")
     p.add_argument("--update-path", choices=["dense", "sparse"],
                    default="dense",
                    help="PPO update arithmetic: dense padded logits "
@@ -264,6 +273,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for training rollouts and the "
                         "evaluation fan-out (1 = serial)")
+    p.add_argument("--transport", choices=["pipe", "shm"], default="pipe",
+                   help="worker array transport (see evaluate --transport)")
     p.add_argument("--rollout-mode", choices=["locked", "async"],
                    default="locked",
                    help="training rollout collection for every zoo policy "
@@ -338,7 +349,7 @@ def _cmd_evaluate(args) -> int:
         print("evaluate: pass a trace name or --scenario (not both)",
               file=sys.stderr)
         return 2
-    runtime = RuntimeConfig.from_workers(args.workers)
+    runtime = RuntimeConfig.from_workers(args.workers, transport=args.transport)
     schedulers = [cls() for cls in HEURISTICS.values()]
     if args.scenario:
         scen = get_scenario(args.scenario)  # fail fast on unknown names
@@ -405,7 +416,8 @@ def _cmd_compare(args) -> int:
     scheds = [make_scheduler(n.strip()) for n in args.schedulers.split(",")]
     config = EvalConfig(
         n_sequences=args.sequences, sequence_length=args.length,
-        seed=args.seed, runtime=RuntimeConfig.from_workers(args.workers),
+        seed=args.seed,
+        runtime=RuntimeConfig.from_workers(args.workers, transport=args.transport),
     )
     matrix = scenario_matrix(
         scheds, names, metric=args.metric,
@@ -480,7 +492,9 @@ def _cmd_train(args) -> int:
             trajectory_length=args.length,
             seed=args.seed,
             use_trajectory_filter=args.filter,
-            runtime=RuntimeConfig.from_workers(args.workers),
+            runtime=RuntimeConfig.from_workers(
+                args.workers, transport=args.transport
+            ),
             grad_workers=args.grad_workers,
             rollout_mode=args.rollout_mode,
             staleness=args.staleness,
@@ -536,7 +550,7 @@ def _cmd_study(args) -> int:
         n_sequences=args.sequences,
         sequence_length=args.eval_length,
         on_mismatch=args.on_mismatch,
-        runtime=RuntimeConfig.from_workers(args.workers),
+        runtime=RuntimeConfig.from_workers(args.workers, transport=args.transport),
         rollout_mode=args.rollout_mode,
         staleness=args.staleness,
         telemetry=_telemetry_config(args),

@@ -334,7 +334,10 @@ class Trainer:
         # grad_workers > 1 shards minibatch gradients over a process pool;
         # 1 keeps the classic in-process backward (grad_runtime=None).
         grad_runtime = (
-            RuntimeConfig.from_workers(self.train_config.grad_workers)
+            RuntimeConfig.from_workers(
+                self.train_config.grad_workers,
+                transport=self.train_config.runtime.transport,
+            )
             if self.train_config.grad_workers > 1
             else None
         )

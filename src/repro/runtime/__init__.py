@@ -26,6 +26,7 @@ from .process_pool import ProcessPoolBackend
 from .seeding import derive_streams, stream_rng, task_seed
 from .serial import SerialBackend
 from .sharded_env import ShardedVecSchedGym
+from .shm import ArrayCodec, SharedArrayPool
 
 __all__ = [
     "ExecutionBackend",
@@ -33,6 +34,8 @@ __all__ = [
     "make_backend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "SharedArrayPool",
+    "ArrayCodec",
     "ShardedVecSchedGym",
     "ActorRuntime",
     "EpisodeSlice",

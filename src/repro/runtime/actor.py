@@ -460,8 +460,10 @@ class ActorRuntime:
             raise ValueError(
                 f"weight version must not decrease: {version} < {self._version}"
             )
+        # post_all encodes the snapshot once for all workers (one pool
+        # span under transport="shm") instead of n_workers pipe copies
+        self.backend.post_all(_actor_load_weights, version, snapshot)
         for w in range(self.n_workers):
-            self.backend.post(w, _actor_load_weights, version, snapshot)
             self._kinds[w].append(("weights", 0))
         self._version = version
 

@@ -111,19 +111,30 @@ class ExecutionBackend(abc.ABC):
 
     # -- dispatch -------------------------------------------------------
     def broadcast(self, fn: TaskFn, *args) -> list:
-        """Run ``fn(state, *args)`` on every worker; results by worker id."""
-        return self.scatter(fn, [args] * self.n_workers)
+        """Run ``fn(state, *args)`` on every worker; results by worker id.
+
+        The arguments ride the scatter ``shared`` channel, so process
+        backends serialize them once per call, not once per worker.
+        """
+        return self.scatter(fn, [()] * self.n_workers, shared=args)
 
     def scatter(
         self,
         fn: TaskFn,
         per_worker_args: Sequence[tuple],
         workers: Sequence[int] | None = None,
+        shared: tuple = (),
     ) -> list:
-        """Run ``fn(state, *per_worker_args[i])`` on each listed worker.
+        """Run ``fn(state, *shared, *per_worker_args[i])`` on each listed
+        worker.
 
         ``workers`` defaults to ``range(len(per_worker_args))``.  Results
-        come back ordered like ``workers``.
+        come back ordered like ``workers``.  ``shared`` arguments are
+        identical for every worker and are serialized **once** per call
+        on process backends (and spilled to shared memory once under
+        ``transport="shm"``) — put the big common payloads (weight
+        snapshots) there and the per-worker variation (shards) in
+        ``per_worker_args``.
         """
         if workers is None:
             workers = range(len(per_worker_args))
@@ -139,7 +150,7 @@ class ExecutionBackend(abc.ABC):
             raise ValueError("worker ids must be unique per scatter call")
         self.start()
         self._require_drained("scatter")
-        return self._scatter_impl(fn, per_worker_args, workers)
+        return self._scatter_impl(fn, per_worker_args, workers, tuple(shared))
 
     def map(
         self,
@@ -180,6 +191,19 @@ class ExecutionBackend(abc.ABC):
         self.start()
         self._post_impl(worker, fn, args)
 
+    def post_all(self, fn: TaskFn, *args) -> None:
+        """Post ``fn(state, *args)`` on *every* worker without waiting.
+
+        Semantically ``post(w, fn, *args)`` for each worker in id order
+        (same FIFO guarantees, one result per worker via
+        :meth:`next_result`), but process backends encode the message
+        **once** and write the same bytes to every pipe — the weight
+        re-broadcast after a PPO update ships one snapshot, not
+        ``n_workers`` pickled copies.
+        """
+        self.start()
+        self._post_all_impl(fn, args)
+
     def next_result(self) -> tuple[int, Any]:
         """Block for the next completed posted task: ``(worker, result)``.
 
@@ -214,7 +238,11 @@ class ExecutionBackend(abc.ABC):
 
     @abc.abstractmethod
     def _scatter_impl(
-        self, fn: TaskFn, per_worker_args: Sequence[tuple], workers: list[int]
+        self,
+        fn: TaskFn,
+        per_worker_args: Sequence[tuple],
+        workers: list[int],
+        shared: tuple,
     ) -> list: ...
 
     @abc.abstractmethod
@@ -227,6 +255,10 @@ class ExecutionBackend(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not implement post()"
         )
+
+    def _post_all_impl(self, fn: TaskFn, args: tuple) -> None:
+        for worker in range(self.n_workers):
+            self._post_impl(worker, fn, args)
 
     def _next_result_impl(self) -> tuple[int, Any]:
         raise NotImplementedError(
@@ -257,4 +289,4 @@ def make_backend(config=None, workers: int | None = None) -> ExecutionBackend:
         raise ValueError(f"workers must be >= 1, got {n}")
     if config.backend == "serial":
         return SerialBackend(n)
-    return ProcessPoolBackend(n)
+    return ProcessPoolBackend(n, transport=config.transport)

@@ -136,10 +136,13 @@ class GradientReducer:
         shards = [
             {k: v[lo:hi] for k, v in batch.items()} for lo, hi in bounds
         ]
+        # (name, loss_fn, weights) are identical per worker: the shared
+        # channel serializes the weight ship once per step, not per shard
         results = self._backend.scatter(
             _shard_grads,
-            [(name, loss_fn, weights, shard) for shard in shards],
+            [(shard,) for shard in shards],
             workers=range(len(shards)),
+            shared=(name, loss_fn, weights),
         )
         grads, aux, total = None, None, 0
         for shard_grads, shard_aux, shard_n in results:

@@ -17,9 +17,21 @@ queue's feeder thread makes the worker-side put non-blocking, which
 breaks the deadlock a pipe-only design invites: with pipes, a parent
 blocked in ``send`` (pushing weights) to a worker that is itself blocked
 in ``send`` (returning a large episode) would wedge both sides forever.
-Workers pre-pickle queue payloads so an unpicklable result fails
+Workers encode queue payloads eagerly so an unencodable result fails
 *synchronously* in the worker — shipped back as an error — rather than
 asynchronously wedging the queue's feeder thread.
+
+Every message — pipe or queue, either direction — is encoded by an
+:class:`repro.runtime.shm.ArrayCodec` and moved with ``send_bytes``/
+``recv_bytes``.  Under ``transport="pipe"`` the codec is plain pickle
+(the bit-identical reference).  Under ``transport="shm"`` large ndarray
+payloads spill out-of-band into a :class:`~repro.runtime.shm
+.SharedArrayPool` shared with the workers, so the pipes carry only small
+skeletons and span descriptors; small or unpicklable payloads fall back
+losslessly to the inline path.  Results are bit-identical either way.
+The parent owns the pool: it is created at start, destroyed at close,
+and leases owned by a worker that died mid-task are reclaimed when the
+death is detected.
 
 Task functions and their arguments must be picklable; define worker
 functions at module top level.  Exceptions raised in a worker come back
@@ -31,8 +43,11 @@ reply — pipe or queue — carries the worker's snapshot *delta* as a third
 element.  The parent absorbs deltas under worker-labelled metric names
 as replies drain, so per-worker telemetry (IPC queue wait, task and
 encode time, plus whatever the task functions record) aggregates without
-any extra round trips.  When telemetry is disabled the extra element is
-``None`` and the worker loop does no timing at all.
+any extra round trips.  Both sides count the bytes they actually write
+(``runtime.ipc.bytes_inline``) and time their encodes
+(``runtime.ipc.encode``); the codec adds ``runtime.ipc.bytes_shm`` and
+the pool-occupancy gauge.  When telemetry is disabled the extra element
+is ``None`` and the worker loop does no timing at all.
 """
 
 from __future__ import annotations
@@ -47,43 +62,83 @@ from typing import Sequence
 from repro.telemetry import core as _telemetry
 
 from .backend import ExecutionBackend, TaskFn, WorkerError
+from .shm import ArrayCodec, SharedArrayPool
 
 __all__ = ["ProcessPoolBackend"]
 
-_SHUTDOWN = None  # pipe sentinel
+#: wire sentinel: decoded message is None -> worker exits its loop
+_SHUTDOWN = None
+
+#: transports accepted by the backend (mirrors RuntimeConfig.TRANSPORTS)
+_TRANSPORTS = ("pipe", "shm")
 
 
 def _worker_main(
-    conn: Connection, result_queue, worker_id: int, telemetry_enabled: bool = False
+    conn: Connection,
+    result_queue,
+    worker_id: int,
+    telemetry_enabled: bool = False,
+    pool: SharedArrayPool | None = None,
 ) -> None:
-    """Command loop: ``(fn, args, via_queue)`` in, results out.
+    """Command loop: ``(fn, args, via_queue, shared_wire)`` in, results out.
 
     ``via_queue=False`` (scatter/map) answers on the pipe with
     ``("ok", result, tel) | ("err", exc, tel)``; ``via_queue=True``
-    (posted tasks) puts a pre-pickled ``(worker_id, status, payload,
-    tel)`` blob on the shared result queue instead.  ``tel`` is the
-    worker's telemetry snapshot delta (or ``None`` when disabled/empty).
+    (posted tasks) puts a pre-encoded ``(worker_id, status, payload,
+    tel)`` blob on the shared result queue instead.  ``shared_wire`` is
+    an optional codec-encoded tuple of arguments common to several
+    workers (scatter ``shared=``), prepended to ``args`` after decode.
+    ``tel`` is the worker's telemetry snapshot delta (or ``None`` when
+    disabled/empty).
     """
+    codec = ArrayCodec(pool)
     state: dict = {}
+    if pool is not None:
+        # tasks (and crash-reclaim tests) may lease spans themselves
+        state["_shm_pool"] = pool
     reg = None
     if telemetry_enabled:
         reg = _telemetry.Telemetry(enabled=True)
         _telemetry.set_active(reg)
     perf = time.perf_counter
+
+    def encode(payload, via_queue: bool) -> bytes:
+        """Encode a reply; an unencodable *result* fails the task in
+        place (synchronously, keeping pipe/queue protocols in sync)."""
+        try:
+            if reg is not None:
+                t0 = perf()
+                wire, _lease = codec.dumps(payload)
+                # encode time/bytes for *this* reply ride the next one
+                reg.add_span_time("runtime.ipc.encode", perf() - t0)
+                reg.counter("runtime.ipc.bytes_inline").add(len(wire))
+            else:
+                wire, _lease = codec.dumps(payload)
+            return wire
+        except Exception as exc:
+            err = RuntimeError(f"unencodable result: {exc}")
+            fallback = (
+                (worker_id, "err", err, None) if via_queue else ("err", err, None)
+            )
+            wire, _lease = codec.dumps(fallback)
+            return wire
+
     while True:
         try:
             if reg is not None:
                 t0 = perf()
-                msg = conn.recv()
+                msg = codec.loads(conn.recv_bytes())
                 reg.histogram("runtime.ipc.queue_wait_sec").record(perf() - t0)
             else:
-                msg = conn.recv()
+                msg = codec.loads(conn.recv_bytes())
         except (EOFError, KeyboardInterrupt):
             break
         if msg is _SHUTDOWN:
             break
-        fn, args, via_queue = msg
+        fn, args, via_queue, shared_wire = msg
         try:
+            if shared_wire is not None:
+                args = tuple(codec.loads(shared_wire)) + tuple(args)
             if reg is not None:
                 t0 = perf()
                 result = fn(state, *args)
@@ -103,21 +158,11 @@ def _worker_main(
         if reg is not None and reg.has_data():
             tel = reg.drain()
         if not via_queue:
-            conn.send(reply + (tel,))
+            conn.send_bytes(encode(reply + (tel,), via_queue=False))
             continue
-        try:
-            if reg is not None:
-                t0 = perf()
-                blob = pickle.dumps((worker_id,) + reply + (tel,))
-                # encode time for *this* blob rides the next reply
-                reg.add_span_time("runtime.ipc.encode", perf() - t0)
-            else:
-                blob = pickle.dumps((worker_id,) + reply + (tel,))
-        except Exception as exc:  # unpicklable *result*: fail the task
-            blob = pickle.dumps(
-                (worker_id, "err", RuntimeError(f"unpicklable result: {exc}"), None)
-            )
-        result_queue.put(blob)
+        result_queue.put(encode((worker_id,) + reply + (tel,), via_queue=True))
+    if pool is not None:
+        pool.close()
 
 
 def _map_chunk(state: dict, fn: TaskFn, tasks: list) -> list:
@@ -133,18 +178,28 @@ class ProcessPoolBackend(ExecutionBackend):
     #: seconds to wait for a worker to exit cleanly before terminating it
     JOIN_TIMEOUT = 5.0
 
-    def __init__(self, n_workers: int = 1):
+    def __init__(self, n_workers: int = 1, transport: str = "pipe"):
         super().__init__(n_workers)
+        if transport not in _TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {_TRANSPORTS}, got {transport!r}"
+            )
+        self.transport = transport
         self._procs: list[mp.Process] = []
         self._conns: list[Connection] = []
         self._result_queue = None
         self._posted_counts: list[int] = []
+        self._pool: SharedArrayPool | None = None
+        self._codec = ArrayCodec(None)
 
     # -- lifecycle ------------------------------------------------------
     def _start_impl(self) -> None:
         ctx = mp.get_context()
         self._result_queue = ctx.Queue()
         self._posted_counts = [0] * self.n_workers
+        if self.transport == "shm":
+            self._pool = SharedArrayPool()
+        self._codec = ArrayCodec(self._pool)
         # Workers inherit the parent's telemetry enablement at spawn time;
         # enabling telemetry after the pool starts leaves workers dark.
         telemetry_enabled = _telemetry.enabled()
@@ -152,7 +207,13 @@ class ProcessPoolBackend(ExecutionBackend):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child_conn, self._result_queue, worker_id, telemetry_enabled),
+                args=(
+                    child_conn,
+                    self._result_queue,
+                    worker_id,
+                    telemetry_enabled,
+                    self._pool,
+                ),
                 daemon=True,
             )
             proc.start()
@@ -175,11 +236,11 @@ class ProcessPoolBackend(ExecutionBackend):
                     if self._posted_counts[w] and not proc.is_alive():
                         self._posted_counts[w] = 0
                 continue
-            worker, _status, _payload, _tel = pickle.loads(blob)
+            worker, _status, _payload, _tel = self._codec.loads(blob)
             self._posted_counts[worker] -= 1
         for conn in self._conns:
             try:
-                conn.send(_SHUTDOWN)
+                conn.send_bytes(self._codec.dumps(_SHUTDOWN)[0])
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
@@ -195,6 +256,42 @@ class ProcessPoolBackend(ExecutionBackend):
         self._procs, self._conns = [], []
         self._result_queue = None
         self._posted_counts = []
+        if self._pool is not None:
+            self._pool.destroy()
+            self._pool = None
+        self._codec = ArrayCodec(None)
+
+    # -- wire helpers ---------------------------------------------------
+    def _encode(self, msg, receivers: int = 1):
+        """Codec-encode one parent-side message, timing it when telemetry
+        is on.  Returns ``(wire, lease)``."""
+        reg = _telemetry.current()
+        if not reg.enabled:
+            return self._codec.dumps(msg, receivers)
+        t0 = time.perf_counter()
+        wire, lease = self._codec.dumps(msg, receivers)
+        reg.add_span_time("runtime.ipc.encode", time.perf_counter() - t0)
+        return wire, lease
+
+    def _send_wire(self, worker: int, wire: bytes) -> None:
+        reg = _telemetry.current()
+        if reg.enabled:
+            reg.counter("runtime.ipc.bytes_inline").add(len(wire))
+        self._conns[worker].send_bytes(wire)
+
+    def _send_msg(
+        self, worker: int, fn: TaskFn, args: tuple, via_queue: bool, shared_wire=None
+    ) -> None:
+        """Encode + write one message.  Encoding failures raise before
+        anything is written (the worker saw nothing); a write failure
+        refunds the message's own pool lease — the worker will never
+        decode it."""
+        wire, lease = self._encode((fn, tuple(args), via_queue, shared_wire))
+        try:
+            self._send_wire(worker, wire)
+        except BaseException:
+            self._codec.discard(lease)
+            raise
 
     # -- dispatch -------------------------------------------------------
     @staticmethod
@@ -202,11 +299,19 @@ class ProcessPoolBackend(ExecutionBackend):
         if tel is not None:
             _telemetry.current().absorb(tel, worker=worker_id)
 
+    def _reclaim_worker(self, worker_id: int) -> None:
+        """Free pool spans leased by a worker that died mid-task."""
+        if self._pool is not None:
+            proc = self._procs[worker_id]
+            if proc.pid is not None:
+                self._pool.release_owner(proc.pid)
+
     def _recv(self, worker_id: int):
         conn = self._conns[worker_id]
         try:
-            status, payload, tel = conn.recv()
+            status, payload, tel = self._codec.loads(conn.recv_bytes())
         except EOFError:
+            self._reclaim_worker(worker_id)
             raise WorkerError(
                 worker_id, RuntimeError("worker died mid-task (pipe closed)")
             ) from None
@@ -216,24 +321,38 @@ class ProcessPoolBackend(ExecutionBackend):
         return payload
 
     def _scatter_impl(
-        self, fn: TaskFn, per_worker_args: Sequence[tuple], workers: list[int]
+        self,
+        fn: TaskFn,
+        per_worker_args: Sequence[tuple],
+        workers: list[int],
+        shared: tuple,
     ) -> list:
         # Phase 1: post everything so workers run concurrently;
         # phase 2: collect in the caller's worker order.  Every *posted*
         # call is drained even on failure — in the send loop too — so the
         # pipes stay in sync and the backend remains usable after a task
         # error (a dead worker still surfaces as WorkerError).
+        shared_wire, shared_lease = None, None
+        if shared:
+            try:
+                shared_wire, shared_lease = self._encode(shared, len(workers))
+            except Exception as exc:
+                raise WorkerError(workers[0], exc) from exc
         posted, first_err = [], None
         for w, args in zip(workers, per_worker_args):
             try:
-                self._conns[w].send((fn, args, False))
+                self._send_msg(w, fn, args, False, shared_wire)
             except Exception as exc:
-                # Broken pipe, but also pickling failures: send() pickles
+                # Broken pipe, but also encoding failures: dumps() runs
                 # before writing, so nothing reached the worker — stop
                 # posting and fall through to drain what already did.
                 first_err = WorkerError(w, exc)
                 break
             posted.append(w)
+        # refund shared-payload leases for workers that never got the
+        # message (each delivered copy is consumed by the worker's decode)
+        if shared_lease is not None and len(posted) < len(workers):
+            self._codec.discard(shared_lease, len(workers) - len(posted))
         results = []
         for w in posted:
             try:
@@ -265,9 +384,9 @@ class ProcessPoolBackend(ExecutionBackend):
                 return False
             start, chunk = entry
             try:
-                self._conns[worker_id].send((_map_chunk, (fn, chunk), False))
+                self._send_msg(worker_id, _map_chunk, (fn, chunk), False)
             except Exception as exc:
-                # Includes pickling failures: send() pickles before
+                # Includes encoding failures: dumps() runs before
                 # writing, so the worker saw nothing — record the error
                 # and let the in-flight chunks drain normally.
                 first_err = WorkerError(worker_id, exc)
@@ -296,13 +415,32 @@ class ProcessPoolBackend(ExecutionBackend):
     # -- asynchronous dispatch ------------------------------------------
     def _post_impl(self, worker: int, fn: TaskFn, args: tuple) -> None:
         try:
-            self._conns[worker].send((fn, args, True))
+            self._send_msg(worker, fn, args, True)
         except Exception as exc:
-            # Broken pipe or pickling failure: send() pickles before
+            # Broken pipe or encoding failure: dumps() runs before
             # writing, so the worker saw nothing — the task never counts
             # as pending.
             raise WorkerError(worker, exc) from exc
         self._posted_counts[worker] += 1
+
+    def _post_all_impl(self, fn: TaskFn, args: tuple) -> None:
+        # One encode, n_workers writes of the same bytes: the snapshot in
+        # a weight re-broadcast is serialized (and pool-spilled) once.
+        try:
+            wire, lease = self._encode(
+                (fn, tuple(args), True, None), receivers=self.n_workers
+            )
+        except Exception as exc:
+            raise WorkerError(0, exc) from exc
+        sent = 0
+        try:
+            for worker in range(self.n_workers):
+                self._send_wire(worker, wire)
+                self._posted_counts[worker] += 1
+                sent += 1
+        except Exception as exc:
+            self._codec.discard(lease, self.n_workers - sent)
+            raise WorkerError(sent, exc) from exc
 
     def _next_result_impl(self) -> tuple:
         while True:
@@ -315,11 +453,12 @@ class ProcessPoolBackend(ExecutionBackend):
                 for w, proc in enumerate(self._procs):
                     if self._posted_counts[w] and not proc.is_alive():
                         self._posted_counts[w] = 0
+                        self._reclaim_worker(w)
                         raise WorkerError(
                             w, RuntimeError("worker died with posted task(s) pending")
                         ) from None
                 continue
-            worker, status, payload, tel = pickle.loads(blob)
+            worker, status, payload, tel = self._codec.loads(blob)
             self._posted_counts[worker] -= 1
             self._absorb_telemetry(worker, tel)
             if status == "err":

@@ -43,9 +43,16 @@ class SerialBackend(ExecutionBackend):
             raise WorkerError(worker_id, exc) from exc
 
     def _scatter_impl(
-        self, fn: TaskFn, per_worker_args: Sequence[tuple], workers: list[int]
+        self,
+        fn: TaskFn,
+        per_worker_args: Sequence[tuple],
+        workers: list[int],
+        shared: tuple = (),
     ) -> list:
-        return [self._run(w, fn, args) for w, args in zip(workers, per_worker_args)]
+        return [
+            self._run(w, fn, shared + tuple(args))
+            for w, args in zip(workers, per_worker_args)
+        ]
 
     def _post_impl(self, worker: int, fn: TaskFn, args: tuple) -> None:
         # No concurrency to defer to: run now, deliver via next_result().

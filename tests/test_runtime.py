@@ -20,7 +20,15 @@ from repro.runtime import (
     task_seed,
 )
 
-BACKENDS = [SerialBackend, ProcessPoolBackend]
+class ShmProcessPoolBackend(ProcessPoolBackend):
+    """The process pool on the shared-memory array transport — the full
+    dispatch contract must hold identically on both transports."""
+
+    def __init__(self, n_workers: int = 1):
+        super().__init__(n_workers, transport="shm")
+
+
+BACKENDS = [SerialBackend, ProcessPoolBackend, ShmProcessPoolBackend]
 
 
 # ----------------------------------------------------------------------
@@ -108,18 +116,22 @@ class TestDispatch:
             backend.scatter(explode, [(1,), (3,), (5,)], workers=[0, 1, 2])
         assert backend.scatter(square, [(2,), (3,), (4,)]) == [4, 9, 16]
 
-    def test_unpicklable_payload_keeps_pipes_in_sync(self):
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_unpicklable_payload_keeps_pipes_in_sync(self, transport):
         # A send-side pickling failure must drain already-posted tasks:
         # otherwise the next dispatch reads a stale reply (silent
         # corruption instead of an error).  Process backend only — the
-        # serial backend never pickles.
-        with ProcessPoolBackend(2) as b:
+        # serial backend never pickles.  Both transports encode before
+        # writing, so the invariant is transport-independent.
+        with ProcessPoolBackend(2, transport=transport) as b:
             with pytest.raises(WorkerError):
                 b.scatter(square, [(2,), (lambda: None,)], workers=[0, 1])
             assert b.scatter(square, [(5,), (6,)]) == [25, 36]
             with pytest.raises(WorkerError):
                 b.map(square, [1, lambda: None, 3], chunksize=1)
             assert b.map(square, [2, 3]) == [4, 9]
+            if b._pool is not None:  # no span left leased by the failure
+                assert b._pool.n_leases == 0
 
 
 class TestLifecycle:
@@ -163,6 +175,16 @@ class TestMakeBackend:
         b.close()
         with pytest.raises(ValueError):
             make_backend(workers=0)
+
+    def test_transport_threads_through(self):
+        b = make_backend(RuntimeConfig(backend="process", workers=2,
+                                       transport="shm"))
+        assert isinstance(b, ProcessPoolBackend) and b.transport == "shm"
+        b.close()
+        with pytest.raises(ValueError):
+            RuntimeConfig(backend="process", transport="carrier-pigeon")
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(2, transport="carrier-pigeon")
 
 
 class TestSeeding:

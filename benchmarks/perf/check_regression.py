@@ -35,6 +35,16 @@ pickled) must stay at or below ``--ipc-ceiling`` (default 0.25 — "shm
 keeps at least 4x of the array traffic off the pipes").  Byte counts
 are exact, so no tolerance applies; 0 disables the check.
 
+A fifth check is an **absolute floor** on the serving layer:
+``serving.served_over_direct`` (closed-loop requests/sec through the
+daemon's socket front end over the same submission streams dispatched
+to the router in-process, within one run) must stay at or above
+``--serving-floor`` (default 0.05 — "the wire layer costs at most
+~20x the scheduling work it fronts"; measured ~0.22 at seed).  Like
+the telemetry floor it is within-run, so it gates on every platform,
+and being absolute it cannot drift downward one baseline bump at a
+time.  0 disables the check.
+
 Improvements and unrelated-metric noise never fail.  A baseline with no
 entry for the requested scale passes with a notice (first run on a new
 scale seeds the baseline).
@@ -119,6 +129,11 @@ def main(argv=None) -> int:
                              "telemetry-enabled/disabled rollout throughput "
                              "ratio (0.95 = at most 5%% overhead); 0 "
                              "disables the check")
+    parser.add_argument("--serving-floor", type=float, default=0.05,
+                        help="absolute floor for the within-run "
+                             "served-over-direct request-throughput ratio "
+                             "of the serving daemon (socket front end vs "
+                             "in-process dispatch); 0 disables the check")
     parser.add_argument("--ipc-ceiling", type=float, default=0.25,
                         help="absolute ceiling for the within-run "
                              "shm-over-inline pipe-byte ratio (0.25 = shm "
@@ -134,6 +149,8 @@ def main(argv=None) -> int:
         parser.error("telemetry-floor must be in [0, 1]")
     if not 0 <= args.ipc_ceiling <= 1:
         parser.error("ipc-ceiling must be in [0, 1]")
+    if not 0 <= args.serving_floor <= 1:
+        parser.error("serving-floor must be in [0, 1]")
 
     base = load_scale(args.baseline, args.scale)
     if base is None:
@@ -224,6 +241,26 @@ def main(argv=None) -> int:
                   "leaking back in-band; this is an exact within-run byte "
                   "count, so hardware differences do not excuse it",
                   file=sys.stderr)
+            failed = True
+
+    # -- serving wire-layer overhead: absolute within-run floor ----------
+    srv = lookup_ratio(cur, "serving", "served_over_direct")
+    if args.serving_floor == 0:
+        print("[bench-check] serving.served_over_direct: check disabled")
+    elif srv is None:
+        print("[bench-check] serving.served_over_direct: missing from "
+              "current run; skipping serving check")
+    else:
+        print(f"[bench-check] scale={args.scale} "
+              f"serving.served_over_direct: {srv:.3f} "
+              f"(floor {args.serving_floor:.2f})")
+        if srv < args.serving_floor:
+            print(f"[bench-check] FAIL: the daemon's socket front end "
+                  f"delivers only {srv:.3f}x of the in-process dispatch "
+                  f"throughput (< {args.serving_floor:.2f}) — the wire "
+                  "layer (framing, dispatch, event loop) regressed; this "
+                  "is within-run, so hardware differences do not excuse "
+                  "it", file=sys.stderr)
             failed = True
 
     if failed:

@@ -30,6 +30,12 @@ Measures, in one run:
   reference vs the segment-batched sparse autograd path, on identical
   pre-drawn minibatches; the ratio is hardware-independent and gated in
   CI like ``rollout.speedup``.
+* ``serving.*`` — scheduler-as-a-service throughput: a two-tenant
+  daemon on a loopback socket driven closed-loop by the load generator
+  (requests/sec, request/decision latency percentiles), next to a
+  direct in-process pass over the same streams.  The within-run
+  ``serving.served_over_direct`` ratio is hardware-independent and
+  gated in CI — it collapses only when the wire layer itself regresses.
 * ``runtime.*`` — worker scaling of the PR-2 execution runtime: rollout
   throughput through :class:`ShardedVecSchedGym` and evaluation
   throughput through :func:`repro.api.evaluate`, at 1/2/4 process
@@ -657,6 +663,98 @@ def bench_scenarios(n_jobs):
     return out
 
 
+def bench_serving(trace, n_jobs_each):
+    """Closed-loop serving throughput over a live loopback daemon.
+
+    Two tenants (FCFS+easy backfill, SJF) run behind one asyncio daemon
+    on an ephemeral port; the load generator submits every job over the
+    real socket, closed loop.  The same streams are then pushed straight
+    into an in-process :class:`SchedulerRouter` — identical decisions,
+    no sockets, no JSON — giving a within-run overhead ratio:
+    ``served_over_direct`` = socket requests/sec over direct
+    requests/sec.  That ratio is hardware-independent and gated in CI
+    (floor in ``check_regression.py``): a collapse means the wire layer
+    (framing, dispatch, event loop) got expensive relative to the
+    scheduling work it fronts, which no runner change can excuse.
+    """
+    import asyncio
+    import threading
+
+    from repro.config import ServeConfig, TenantConfig
+    from repro.serve import (
+        SchedulerRouter,
+        ServeClient,
+        ServeDaemon,
+        run_closed_loop,
+        trace_jobs,
+    )
+
+    tenants = (
+        TenantConfig(name="alpha", scheduler="FCFS",
+                     n_procs=trace.max_procs, backfill="easy"),
+        TenantConfig(name="beta", scheduler="SJF", n_procs=trace.max_procs),
+    )
+    streams = {
+        "alpha": trace_jobs(trace, n_jobs_each, seed=1,
+                            max_procs=trace.max_procs),
+        "beta": trace_jobs(trace, n_jobs_each, seed=2,
+                           max_procs=trace.max_procs),
+    }
+
+    # direct pass: the same decisions with the wire layer removed
+    router = SchedulerRouter(ServeConfig(port=0, tenants=tenants))
+    from repro.serve.protocol import PROTOCOL_VERSION, job_to_wire
+    wire = {
+        name: [{"v": PROTOCOL_VERSION, "op": "submit", "tenant": name,
+                "job": job_to_wire(job)} for job in jobs]
+        for name, jobs in streams.items()
+    }
+    start = time.perf_counter()
+    direct_requests = 0
+    for name, messages in wire.items():
+        for message in messages:
+            router.dispatch(message)
+            direct_requests += 1
+    router.drain_all()
+    direct_elapsed = time.perf_counter() - start
+    direct_rps = direct_requests / direct_elapsed
+
+    # served pass: the identical streams through the live socket daemon
+    daemon = ServeDaemon(ServeConfig(port=0, tenants=tenants))
+    outcome = {}
+
+    def _run():
+        outcome["rc"] = asyncio.run(daemon.run_async())
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    deadline = time.perf_counter() + 30
+    while daemon.address is None and time.perf_counter() < deadline:
+        if not thread.is_alive():
+            raise RuntimeError("serve daemon died before binding")
+        time.sleep(0.01)
+    assert daemon.address is not None, "serve daemon never bound"
+    try:
+        loadgen = run_closed_loop(*daemon.address, streams)
+    finally:
+        with ServeClient(*daemon.address) as client:
+            client.drain(stop=True)
+        thread.join(timeout=30)
+    assert outcome.get("rc") == 0, "serve daemon did not exit cleanly"
+
+    return {
+        "tenants": [t.name for t in tenants],
+        "jobs_per_tenant": n_jobs_each,
+        "requests": loadgen["requests"],
+        "requests_per_sec": loadgen["requests_per_sec"],
+        "decisions": loadgen["decisions"],
+        "request_latency_sec": loadgen["request_latency_sec"],
+        "decision_latency_sec": loadgen["decision_latency_sec"],
+        "direct_requests_per_sec": direct_rps,
+        "served_over_direct": loadgen["requests_per_sec"] / direct_rps,
+    }
+
+
 def bench_ppo_update(agent, buffer, ppo_cfg, max_obsv, job_features):
     """Full-update timing plus a dense-vs-sparse policy-step comparison.
 
@@ -828,6 +926,13 @@ def main(argv=None):
           f"+ {ipc_report['shm']['bytes_shm']:,} out-of-band "
           f"({ipc_report['bytes_shm_over_inline']:.3f}x of inline)")
 
+    serving_report = bench_serving(trace, max(100, min(500, n_jobs // 4)))
+    print(f"[perf] serving: {serving_report['requests_per_sec']:,.0f} req/s "
+          f"over the socket vs {serving_report['direct_requests_per_sec']:,.0f} "
+          f"direct ({serving_report['served_over_direct']:.3f}x); decision "
+          f"p50 {serving_report['decision_latency_sec']['p50'] * 1e6:,.0f} us, "
+          f"p99 {serving_report['decision_latency_sec']['p99'] * 1e6:,.0f} us")
+
     report = {
         "scale": args.scale,
         "policy_preset": "kernel",
@@ -852,6 +957,7 @@ def main(argv=None):
         "telemetry": telemetry_report,
         "runtime": runtime_report,
         "ipc": ipc_report,
+        "serving": serving_report,
         "platform": {
             "python": platform.python_version(),
             "numpy": np.__version__,

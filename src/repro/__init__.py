@@ -51,8 +51,10 @@ from .config import (
     PPOConfig,
     RuntimeConfig,
     ScenarioConfig,
+    ServeConfig,
     StudyConfig,
     TelemetryConfig,
+    TenantConfig,
     TrainConfig,
 )
 from .rl import Trainer, TrainingResult
@@ -88,6 +90,8 @@ __all__ = [
     "EvalConfig",
     "RuntimeConfig",
     "ScenarioConfig",
+    "ServeConfig",
+    "TenantConfig",
     "StudyConfig",
     "TelemetryConfig",
     "FeatureLayoutError",

@@ -21,6 +21,13 @@ Commands
     policy per scenario into a checkpoint zoo (resumable), evaluate
     every policy on every scenario alongside the heuristics, and write
     the generalization-matrix JSON artifact.
+``serve``
+    Run the scheduler-as-a-service daemon: an asyncio socket front end
+    multiplexing N logical clusters (tenants) over one process, each
+    with its own policy (heuristic or saved RL model).
+``submit``
+    Client for a running daemon: submit a single job or replay an SWF
+    file, query status/stats, drain.
 
 Examples
 --------
@@ -40,6 +47,13 @@ Examples
     python -m repro study --scenarios lublin-64,lublin-256-mem \\
         --jobs 400 --epochs 2 --trajectories 2 --length 16 --obsv 8 \\
         --sequences 2 --eval-length 24 --workers 2 -o generalization.json
+    python -m repro serve --port 7653 \\
+        --tenant batch:FCFS:256:easy --tenant rl:model.npz:256 \\
+        --telemetry serve_telemetry.jsonl
+    python -m repro submit --port 7653 --tenant batch \\
+        --job-id 1 --procs 4 --runtime 600
+    python -m repro submit --port 7653 --tenant batch --swf trace.swf
+    python -m repro submit --port 7653 --drain --stop
 """
 
 from __future__ import annotations
@@ -55,8 +69,10 @@ from . import (
     PPOConfig,
     RuntimeConfig,
     ScenarioConfig,
+    ServeConfig,
     StudyConfig,
     TelemetryConfig,
+    TenantConfig,
     TrainConfig,
     compare,
     generalization_matrix,
@@ -287,6 +303,68 @@ def build_parser() -> argparse.ArgumentParser:
                         "JSONL trace to PATH")
     p.add_argument("-o", "--output", default=None,
                    help="write the generalization-matrix JSON artifact")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the scheduler daemon (asyncio socket front end, "
+             "multi-tenant)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7653,
+                   help="TCP port (0 = ephemeral; the daemon prints the "
+                        "bound address on stdout)")
+    p.add_argument("--tenant", action="append", default=None,
+                   metavar="NAME:SCHED:PROCS[:BACKFILL[:MEMORY]]",
+                   help="add a logical cluster: SCHED is a heuristic name "
+                        "or a saved policy .npz path; BACKFILL is "
+                        "none/easy/conservative; MEMORY is per-proc "
+                        "capacity. Repeatable; default: one "
+                        "'default:FCFS:256' tenant")
+    p.add_argument("--history", type=_nonnegative_int, default=10_000,
+                   help="finished-job records retained per tenant for "
+                        "status queries")
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="enable telemetry and write the repro/telemetry@1 "
+                        "JSONL trace to PATH")
+
+    p = sub.add_parser(
+        "submit",
+        help="client for a running daemon: submit jobs, query, drain",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7653)
+    p.add_argument("--tenant", default=None,
+                   help="tenant name (optional for single-tenant daemons)")
+    p.add_argument("--swf", default=None, metavar="FILE",
+                   help="replay an SWF trace file job by job")
+    p.add_argument("--limit", type=_positive_int, default=None,
+                   help="with --swf: replay only the first N jobs")
+    p.add_argument("--job-id", type=int, default=None,
+                   help="single-job mode: job id")
+    p.add_argument("--procs", type=_positive_int, default=1,
+                   help="single-job mode: processors requested")
+    p.add_argument("--runtime", type=float, default=None,
+                   help="single-job mode: actual runtime in seconds")
+    p.add_argument("--reqtime", type=float, default=None,
+                   help="single-job mode: requested (estimated) runtime; "
+                        "defaults to --runtime")
+    p.add_argument("--mem", type=float, default=None,
+                   help="single-job mode: requested memory per processor")
+    p.add_argument("--submit-time", type=float, default=None,
+                   help="single-job mode: logical submission instant "
+                        "(default: the engine's current horizon)")
+    p.add_argument("--user", type=int, default=None,
+                   help="single-job mode: submitting user id")
+    p.add_argument("--status", type=int, default=None, metavar="JOB_ID",
+                   help="query one job's state")
+    p.add_argument("--stats", action="store_true",
+                   help="print tenant statistics")
+    p.add_argument("--advance", type=float, default=None, metavar="UNTIL",
+                   help="declare that logical time reached UNTIL")
+    p.add_argument("--drain", action="store_true",
+                   help="run every queued job to completion")
+    p.add_argument("--stop", action="store_true",
+                   help="with --drain: shut the daemon down afterwards")
 
     return parser
 
@@ -580,6 +658,121 @@ def _cmd_study(args) -> int:
     return 0
 
 
+def _parse_tenant(text: str) -> TenantConfig:
+    """``NAME:SCHED:PROCS[:BACKFILL[:MEMORY]]`` -> :class:`TenantConfig`.
+
+    ``SCHED`` is a heuristic name unless it looks like a file path
+    (contains a slash or ends in ``.npz``), in which case it loads as a
+    saved RL policy.
+    """
+    parts = text.split(":")
+    if not 3 <= len(parts) <= 5:
+        raise argparse.ArgumentTypeError(
+            f"tenant spec must be NAME:SCHED:PROCS[:BACKFILL[:MEMORY]], "
+            f"got {text!r}"
+        )
+    name, sched, procs = parts[0], parts[1], parts[2]
+    backfill: bool | str = False
+    if len(parts) >= 4 and parts[3] and parts[3] != "none":
+        backfill = True if parts[3] == "true" else parts[3]
+    memory = float(parts[4]) if len(parts) == 5 and parts[4] else None
+    try:
+        n_procs = int(procs)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"tenant {name!r}: PROCS must be an integer, got {procs!r}"
+        ) from None
+    is_policy = "/" in sched or sched.endswith(".npz")
+    try:
+        return TenantConfig(
+            name=name,
+            scheduler="RL" if is_policy else sched,
+            policy_path=sched if is_policy else None,
+            n_procs=n_procs,
+            memory=memory,
+            backfill=backfill,
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"tenant {name!r}: {exc}") from None
+
+
+def _cmd_serve(args) -> int:
+    from .serve import serve  # lazy: asyncio machinery only when serving
+
+    tenants = tuple(_parse_tenant(spec) for spec in (args.tenant or ()))
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        tenants=tenants or (TenantConfig(),),
+        completed_history=args.history,
+        telemetry=_telemetry_config(args),
+    )
+    names = ", ".join(t.name for t in config.tenants)
+    logger.info("starting scheduler daemon with tenant(s): %s", names)
+    return serve(config)
+
+
+def _cmd_submit(args) -> int:
+    from .serve import ServeClient, ServeError, replay_swf
+
+    single_job = args.job_id is not None or args.runtime is not None
+    actions = [bool(args.swf), single_job, args.status is not None,
+               args.stats, args.advance is not None, args.drain]
+    if not any(actions):
+        print("submit: nothing to do — pass --swf, --job-id/--runtime, "
+              "--status, --stats, --advance, or --drain", file=sys.stderr)
+        return 2
+    if args.swf and single_job:
+        print("submit: --swf and single-job mode are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if single_job and (args.job_id is None or args.runtime is None):
+        print("submit: single-job mode needs both --job-id and --runtime",
+              file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(args.host, args.port) as client:
+            if args.swf:
+                summary = replay_swf(client, args.swf, tenant=args.tenant,
+                                     limit=args.limit, drain=args.drain)
+                print(json.dumps(summary, indent=2))
+            elif single_job:
+                job = {"job_id": args.job_id, "run_time": args.runtime,
+                       "requested_procs": args.procs}
+                if args.reqtime is not None:
+                    job["requested_time"] = args.reqtime
+                if args.mem is not None:
+                    job["requested_mem"] = args.mem
+                if args.submit_time is not None:
+                    job["submit_time"] = args.submit_time
+                if args.user is not None:
+                    job["user_id"] = args.user
+                response = client.submit(job, tenant=args.tenant)
+                print(json.dumps({k: v for k, v in response.items()
+                                  if k not in ("v", "ok")}, indent=2))
+            if args.status is not None:
+                response = client.status(args.status, tenant=args.tenant)
+                print(json.dumps(response["job"], indent=2))
+            if args.advance is not None:
+                response = client.advance(args.advance, tenant=args.tenant)
+                print(json.dumps({k: v for k, v in response.items()
+                                  if k not in ("v", "ok")}, indent=2))
+            if args.stats:
+                response = client.stats(tenant=args.tenant)
+                print(json.dumps({k: v for k, v in response.items()
+                                  if k not in ("v", "ok")}, indent=2))
+            if args.drain and not args.swf:
+                response = client.drain(tenant=args.tenant, stop=args.stop)
+                print(json.dumps({k: v for k, v in response.items()
+                                  if k not in ("v", "ok")}, indent=2))
+            elif args.swf and args.stop:
+                client.drain(tenant=None, stop=True)
+    except ServeError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "traces": _cmd_traces,
     "scenarios": _cmd_scenarios,
@@ -588,6 +781,8 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "train": _cmd_train,
     "study": _cmd_study,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -22,6 +22,8 @@ __all__ = [
     "ScenarioConfig",
     "StudyConfig",
     "TelemetryConfig",
+    "TenantConfig",
+    "ServeConfig",
     "FeatureLayoutError",
 ]
 
@@ -350,6 +352,90 @@ class EvalConfig:
             raise TypeError("runtime must be a RuntimeConfig")
         if self.scenario is not None and not isinstance(self.scenario, ScenarioConfig):
             raise TypeError("scenario must be a ScenarioConfig (or None)")
+        if self.telemetry is not None and not isinstance(self.telemetry, TelemetryConfig):
+            raise TypeError("telemetry must be a TelemetryConfig (or None)")
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One logical cluster multiplexed by the serving daemon.
+
+    Each tenant gets an independent
+    :class:`~repro.sim.core.OnlineSchedulingEngine` (own cluster, own
+    pending queue, own simulated clock) plus its own decision policy and
+    telemetry labels.  ``scheduler`` is a heuristic name from
+    :data:`repro.schedulers.ALL_HEURISTICS`; ``policy_path`` instead loads
+    a trained :class:`~repro.schedulers.RLSchedulerPolicy` ``.npz`` (and
+    takes precedence).  Like :class:`ScenarioConfig`, this is plain data —
+    resolution happens in :mod:`repro.serve`.
+    """
+
+    #: accepted backfilling modes (mirrors ``EngineCore.BACKFILL_MODES``)
+    BACKFILL_MODES = (False, True, "easy", "conservative")
+
+    name: str = "default"
+    scheduler: str = "FCFS"
+    n_procs: int = 256
+    #: per-processor memory capacity (None = memory-unconstrained)
+    memory: float | None = None
+    backfill: bool | str = False
+    #: path to a trained policy ``.npz``; overrides ``scheduler``
+    policy_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.n_procs <= 0:
+            raise ValueError(f"n_procs must be positive, got {self.n_procs}")
+        if self.memory is not None and self.memory <= 0:
+            raise ValueError(f"memory must be positive, got {self.memory}")
+        if self.backfill not in self.BACKFILL_MODES:
+            raise ValueError(
+                f"backfill must be one of {self.BACKFILL_MODES}, "
+                f"got {self.backfill!r}"
+            )
+        if not self.scheduler and self.policy_path is None:
+            raise ValueError("tenant needs a scheduler name or a policy_path")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """The scheduler-as-a-service daemon (see :mod:`repro.serve`).
+
+    One asyncio process listens on ``host:port`` speaking the versioned
+    JSON line protocol and multiplexes every configured tenant.  ``port``
+    0 binds an ephemeral port (the daemon prints the bound address on
+    stdout).  ``completed_history`` caps the finished-job records each
+    tenant retains for ``status`` queries — the serving path must hold
+    memory proportional to the live job set, not the lifetime stream.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7653
+    tenants: tuple = (TenantConfig(),)
+    #: observability (spans/metrics + optional JSONL sink); None = off
+    telemetry: TelemetryConfig | None = None
+    #: finished-job records retained per tenant for ``status`` queries
+    completed_history: int = 10_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        if not 0 <= self.port <= 65_535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if not self.host:
+            raise ValueError("host must be non-empty")
+        if not self.tenants:
+            raise ValueError("serve needs at least one tenant")
+        for tenant in self.tenants:
+            if not isinstance(tenant, TenantConfig):
+                raise TypeError("tenants must be TenantConfig instances")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique, got {names}")
+        if self.completed_history < 0:
+            raise ValueError(
+                f"completed_history must be >= 0, got {self.completed_history}"
+            )
         if self.telemetry is not None and not isinstance(self.telemetry, TelemetryConfig):
             raise TypeError("telemetry must be a TelemetryConfig (or None)")
 

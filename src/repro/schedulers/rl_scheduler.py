@@ -164,6 +164,41 @@ class DeployFeatureCache:
         self._add(list(jobs))
         return np.arange(len(jobs), dtype=np.intp)
 
+    def evict(self, job_ids) -> int:
+        """Drop cached rows for departed jobs; returns the count evicted.
+
+        The batch path never needs this — an episode's cache dies with the
+        episode — but a long-lived serving daemon sees an unbounded job
+        stream, and without eviction the cache grows forever.  Surviving
+        rows are compacted to the front and capacity shrinks back to the
+        doubling schedule, so held memory tracks the *live* job set.
+        """
+        drop = [self.index[jid] for jid in job_ids if jid in self.index]
+        if not drop:
+            return 0
+        keep_mask = np.ones(self.size, dtype=bool)
+        keep_mask[drop] = False
+        keep_rows = np.nonzero(keep_mask)[0]
+        new_size = len(keep_rows)
+        new_cap = max(64, 1 << (new_size - 1).bit_length()) if new_size else 64
+        f = self.config.job_features
+        static = np.zeros((new_cap, f), dtype=np.float64)
+        static[:new_size] = self.static[keep_rows]
+        self.static = static
+        for attr in ("submit", "procs", "reqtime", "uhash", "reqmem"):
+            col = np.zeros(new_cap, dtype=np.float64)
+            col[:new_size] = getattr(self, attr)[keep_rows]
+            setattr(self, attr, col)
+        remap = np.full(self.size, -1, dtype=np.intp)
+        remap[keep_rows] = np.arange(new_size)
+        self.index = {
+            jid: int(remap[row])
+            for jid, row in self.index.items()
+            if keep_mask[row]
+        }
+        self.size = new_size
+        return len(drop)
+
 
 class RLSchedulerPolicy(Scheduler):
     """A trained policy network acting as a scheduler."""
@@ -292,6 +327,17 @@ class RLSchedulerPolicy(Scheduler):
             raise ValueError(f"n_procs must be positive, got {value}")
         self._n_procs = int(value)
         self._cache = None
+
+    # ------------------------------------------------------------------
+    def forget_jobs(self, job_ids) -> int:
+        """Evict departed jobs from the deploy feature cache.
+
+        Serving daemons call this as jobs complete so the cache stays
+        bounded by the live queue; returns how many rows were dropped.
+        """
+        if self._cache is None:
+            return 0
+        return self._cache.evict(job_ids)
 
     # ------------------------------------------------------------------
     def score(self, job: Job, now: float, cluster: Cluster) -> float:

@@ -1,0 +1,147 @@
+"""Versioned JSON line protocol for the scheduler daemon.
+
+One request per line, one response per line (NDJSON over a stream
+socket).  Every message carries the protocol version so clients and
+servers fail loudly across incompatible upgrades instead of
+misinterpreting fields::
+
+    -> {"v": 1, "op": "submit", "tenant": "batch",
+        "job": {"job_id": 7, "run_time": 600, "requested_procs": 4}}
+    <- {"v": 1, "ok": true, "job": {...}, "state": "running",
+        "decisions": 1}
+
+Operations:
+
+``submit``
+    admit one job to a tenant's cluster; the response reports the job's
+    state after the decision pump ran (it may already be running).
+``status``
+    look up one job by ``job_id``.
+``stats``
+    per-tenant engine/service counters (all tenants when none is named).
+``advance``
+    declare that external time reached ``until`` — drives decisions for
+    jobs whose start had to wait on the clock.
+``drain``
+    run every queued job to completion; with ``"stop": true`` the daemon
+    shuts down gracefully after responding.
+``ping``
+    liveness/version probe.
+
+The shared :func:`job_from_wire` / :func:`job_to_wire` codecs are the
+single source of truth for the job schema — the CLI client and the load
+generator both speak through them.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.workloads.job import Job
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPS",
+    "ProtocolError",
+    "encode",
+    "decode",
+    "ok_response",
+    "error_response",
+    "job_from_wire",
+    "job_to_wire",
+]
+
+PROTOCOL_VERSION = 1
+OPS = ("submit", "status", "stats", "advance", "drain", "ping")
+
+#: wire job schema: (field, required, converter)
+_JOB_FIELDS = (
+    ("job_id", True, int),
+    ("run_time", True, float),
+    ("requested_procs", True, int),
+    ("submit_time", False, float),
+    ("requested_time", False, float),
+    ("requested_mem", False, float),
+    ("user_id", False, int),
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed or version-incompatible wire message."""
+
+
+def encode(msg: dict) -> bytes:
+    """One NDJSON frame (compact separators keep the hot path small)."""
+    return (json.dumps(msg, separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse and validate one request line."""
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(msg, dict):
+        raise ProtocolError("request must be a JSON object")
+    version = msg.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this server speaks v{PROTOCOL_VERSION})"
+        )
+    op = msg.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"op must be one of {OPS}, got {op!r}")
+    return msg
+
+
+def ok_response(**fields) -> dict:
+    return {"v": PROTOCOL_VERSION, "ok": True, **fields}
+
+
+def error_response(message: str) -> dict:
+    return {"v": PROTOCOL_VERSION, "ok": False, "error": message}
+
+
+def job_from_wire(payload) -> Job:
+    """Build a :class:`Job` from its wire dict (shared client/server)."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("job must be a JSON object")
+    kwargs = {}
+    for field, required, conv in _JOB_FIELDS:
+        if field in payload:
+            try:
+                kwargs[field] = conv(payload[field])
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    f"job field {field!r} must be numeric, "
+                    f"got {payload[field]!r}"
+                ) from None
+        elif required:
+            raise ProtocolError(f"job is missing required field {field!r}")
+    unknown = set(payload) - {f for f, _, _ in _JOB_FIELDS}
+    if unknown:
+        raise ProtocolError(f"unknown job fields: {sorted(unknown)}")
+    kwargs.setdefault("submit_time", 0.0)
+    # schedulers only ever see the requested runtime; default it to the
+    # actual one so minimal submissions still plan sensibly
+    kwargs.setdefault("requested_time", kwargs["run_time"])
+    try:
+        return Job(**kwargs)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid job: {exc}") from None
+
+
+def job_to_wire(job: Job) -> dict:
+    wire = {
+        "job_id": job.job_id,
+        "submit_time": job.submit_time,
+        "run_time": job.run_time,
+        "requested_procs": job.requested_procs,
+        "requested_time": job.requested_time,
+    }
+    if job.requested_mem > 0:
+        wire["requested_mem"] = job.requested_mem
+    if job.user_id >= 0:
+        wire["user_id"] = job.user_id
+    return wire

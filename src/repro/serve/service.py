@@ -1,0 +1,298 @@
+"""Policy inference over the online engine: one service per tenant.
+
+:class:`SchedulerService` owns one
+:class:`~repro.sim.core.OnlineSchedulingEngine` plus a decision policy
+(heuristic or loaded :class:`~repro.schedulers.RLSchedulerPolicy` through
+its sparse ``score_rows``/``DeployFeatureCache`` hot path) and turns
+submissions into scheduling decisions.  Memory is bounded by the *live*
+job set: completed jobs are harvested out of the engine, their rows are
+evicted from the policy's deploy feature cache, and the finished-record
+history kept for ``status`` queries is capped.
+
+:class:`SchedulerRouter` multiplexes N independent tenants — separate
+clusters, policies, clocks, and telemetry labels — behind the one wire
+protocol, mapping request dicts to responses.  Both classes are
+synchronous and single-threaded by design: the asyncio front end
+(:mod:`repro.serve.server`) serialises requests, so no locking exists
+anywhere in the decision path.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict, deque
+from time import perf_counter
+
+from repro.config import ServeConfig, TenantConfig
+from repro.schedulers import RLSchedulerPolicy, make_scheduler
+from repro.sim import ClusterSpec, OnlineSchedulingEngine
+from repro.telemetry import core as _telemetry
+
+from .protocol import ProtocolError, job_from_wire, job_to_wire, ok_response
+
+__all__ = ["ServiceError", "SchedulerService", "SchedulerRouter"]
+
+#: client-visible decision latencies kept for exact percentiles (stats)
+_LATENCY_WINDOW = 65_536
+
+
+class ServiceError(ValueError):
+    """A well-formed request the service cannot honour (bad tenant/job)."""
+
+
+class SchedulerService:
+    """One tenant: an online engine + a policy + bounded bookkeeping."""
+
+    def __init__(self, tenant: TenantConfig, completed_history: int = 10_000):
+        self.tenant = tenant
+        self.spec = ClusterSpec(tenant.n_procs, memory=tenant.memory)
+        self.engine = OnlineSchedulingEngine(self.spec, backfill=tenant.backfill)
+        if tenant.policy_path is not None:
+            # retarget through the checked setter: a policy trained for a
+            # different cluster size is re-aimed here, not mid-decision
+            self.policy = RLSchedulerPolicy.load(tenant.policy_path).retarget(
+                self.spec, name=f"RL:{tenant.name}"
+            )
+        else:
+            self.policy = make_scheduler(tenant.scheduler)
+        self._completed_history = completed_history
+        self._records: dict[int, dict] = {}  # live jobs (pending/running)
+        self._finished: OrderedDict[int, dict] = OrderedDict()
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self.n_decisions = 0
+        self.n_finished = 0
+        # per-tenant labelled instruments, resolved once (no-op when off)
+        reg = _telemetry.current()
+        suffix = f"{{tenant={tenant.name}}}"
+        self._tel_decision = (
+            reg.histogram(f"serve.decision_latency_sec{suffix}")
+            if reg.enabled
+            else None
+        )
+        self._tel_decisions = (
+            reg.counter(f"serve.decisions{suffix}") if reg.enabled else None
+        )
+
+    # ------------------------------------------------------------------
+    def submit(self, payload: dict) -> dict:
+        """Admit one wire job; pump decisions; report the resulting state."""
+        job = job_from_wire(payload)
+        try:
+            admitted = self.engine.submit(job)
+        except ValueError as exc:
+            raise ServiceError(str(exc)) from None
+        self._records[admitted.job_id] = {
+            "job_id": admitted.job_id,
+            "tenant": self.tenant.name,
+            "state": "pending",
+            "submit_time": admitted.submit_time,
+            "requested_procs": admitted.requested_procs,
+        }
+        decisions = self.pump()
+        return {
+            "job": job_to_wire(admitted),
+            "state": self._state_of(admitted.job_id),
+            "decisions": decisions,
+        }
+
+    def advance(self, until: float) -> dict:
+        """External time reached ``until``; run any decisions that unblocks."""
+        if not isinstance(until, (int, float)) or math.isnan(until):
+            raise ServiceError(f"advance needs a numeric 'until', got {until!r}")
+        self.engine.advance(float(until))
+        return {"decisions": self.pump(), "now": self.engine.now}
+
+    def drain(self) -> dict:
+        """Run every queued job to completion (horizon lifts to infinity)."""
+        self.engine.drain()
+        decisions = self.pump()
+        assert self.engine.idle, "engine not quiescent after drain"
+        # "decisions" is the *delta* made by this drain, consistent with
+        # submit/advance; the cumulative count lives in stats()["decisions"],
+        # which would otherwise clobber it
+        return {**self.stats(), "decisions": decisions}
+
+    def status(self, job_id) -> dict:
+        try:
+            job_id = int(job_id)
+        except (TypeError, ValueError):
+            raise ServiceError(f"status needs an integer job_id, got {job_id!r}") from None
+        record = self._records.get(job_id) or self._finished.get(job_id)
+        if record is None:
+            raise ServiceError(
+                f"unknown job {job_id} on tenant {self.tenant.name!r} "
+                "(never submitted, or evicted from the finished history)"
+            )
+        return {"job": dict(record)}
+
+    def stats(self) -> dict:
+        latencies = sorted(self._latencies)
+        engine = self.engine
+        return {
+            "tenant": self.tenant.name,
+            "scheduler": self.policy.name,
+            "n_procs": self.spec.n_procs,
+            "submitted": engine.n_submitted,
+            "started": engine.n_started,
+            "finished": self.n_finished,
+            "pending": len(engine.pending),
+            "running": len(engine._running),
+            "free_procs": engine.cluster.free_procs,
+            "now": engine.now,
+            "decisions": self.n_decisions,
+            "decision_latency_sec": {
+                "count": len(latencies),
+                "p50": _percentile(latencies, 0.50),
+                "p99": _percentile(latencies, 0.99),
+                "mean": sum(latencies) / len(latencies) if latencies else None,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def pump(self) -> int:
+        """Resolve every decision reachable at the current horizon."""
+        engine = self.engine
+        made = 0
+        while engine.next_decision():
+            t0 = perf_counter()
+            best = self.policy.select(engine.pending, engine.now, engine.cluster)
+            started = engine.commit(best)
+            elapsed = perf_counter() - t0
+            self._latencies.append(elapsed)
+            if self._tel_decision is not None:
+                self._tel_decision.record(elapsed)
+                self._tel_decisions.add()
+            self.n_decisions += 1
+            made += 1
+            if not started:
+                break  # stalled at the horizon; a later submit/advance resumes
+        self._reconcile()
+        return made
+
+    def _reconcile(self) -> None:
+        """Sync job records with the engine; harvest + bound completions."""
+        for job in self.engine._running.values():
+            record = self._records.get(job.job_id)
+            if record is not None and record["state"] != "running":
+                record["state"] = "running"
+                record["start_time"] = job.start_time
+        finished = self.engine.take_completed()
+        if not finished:
+            return
+        self.n_finished += len(finished)
+        # departed jobs leave the policy's deploy feature cache too —
+        # without this a long-lived daemon grows that cache forever
+        forget = getattr(self.policy, "forget_jobs", None)
+        if forget is not None:
+            forget([job.job_id for job in finished])
+        for job in finished:
+            record = self._records.pop(job.job_id, None) or {
+                "job_id": job.job_id,
+                "tenant": self.tenant.name,
+                "submit_time": job.submit_time,
+                "requested_procs": job.requested_procs,
+            }
+            record.update(
+                state="finished",
+                start_time=job.start_time,
+                finish_time=job.end_time,
+                wait_time=job.start_time - job.submit_time,
+            )
+            self._finished[job.job_id] = record
+        while len(self._finished) > self._completed_history:
+            self._finished.popitem(last=False)
+
+    def _state_of(self, job_id: int) -> str:
+        record = self._records.get(job_id) or self._finished.get(job_id)
+        return record["state"] if record else "unknown"
+
+
+def _percentile(sorted_values: list[float], q: float):
+    if not sorted_values:
+        return None
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+class SchedulerRouter:
+    """Dispatch wire requests across the configured tenants."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.services = {
+            tenant.name: SchedulerService(
+                tenant, completed_history=config.completed_history
+            )
+            for tenant in config.tenants
+        }
+
+    # ------------------------------------------------------------------
+    def service(self, name: str | None) -> SchedulerService:
+        if name is None:
+            if len(self.services) == 1:
+                return next(iter(self.services.values()))
+            if "default" in self.services:
+                return self.services["default"]
+            raise ServiceError(
+                "request must name a tenant; this daemon serves "
+                f"{sorted(self.services)}"
+            )
+        service = self.services.get(name)
+        if service is None:
+            raise ServiceError(
+                f"unknown tenant {name!r}; this daemon serves "
+                f"{sorted(self.services)}"
+            )
+        return service
+
+    def dispatch(self, msg: dict) -> dict:
+        """One validated request in, one response dict out.
+
+        ``ProtocolError``/``ServiceError`` raised here are client errors;
+        the server maps them to ``ok: false`` responses.
+        """
+        op = msg["op"]
+        tenant = msg.get("tenant")
+        if tenant is not None and not isinstance(tenant, str):
+            raise ProtocolError(f"tenant must be a string, got {tenant!r}")
+        if op == "ping":
+            return ok_response(tenants=sorted(self.services))
+        if op == "submit":
+            if "job" not in msg:
+                raise ProtocolError("submit needs a 'job' object")
+            return ok_response(**self.service(tenant).submit(msg["job"]))
+        if op == "status":
+            if "job_id" not in msg:
+                raise ProtocolError("status needs a 'job_id'")
+            return ok_response(**self.service(tenant).status(msg["job_id"]))
+        if op == "advance":
+            if "until" not in msg:
+                raise ProtocolError("advance needs an 'until' timestamp")
+            return ok_response(**self.service(tenant).advance(msg["until"]))
+        if op == "stats":
+            if tenant is None:
+                return ok_response(
+                    tenants={
+                        name: service.stats()
+                        for name, service in self.services.items()
+                    }
+                )
+            return ok_response(**self.service(tenant).stats())
+        if op == "drain":
+            if tenant is None:
+                return ok_response(
+                    stop=bool(msg.get("stop", False)),
+                    tenants={
+                        name: service.drain()
+                        for name, service in self.services.items()
+                    },
+                )
+            return ok_response(
+                stop=bool(msg.get("stop", False)),
+                **self.service(tenant).drain(),
+            )
+        raise ProtocolError(f"unhandled op {op!r}")  # unreachable: decode vets op
+
+    def drain_all(self) -> dict:
+        """Graceful-shutdown path: every tenant runs to quiescence."""
+        return {name: service.drain() for name, service in self.services.items()}

@@ -9,6 +9,7 @@ from .backfill import (
     shadow_state,
     shadow_time_and_extra,
 )
+from .core import EngineCore, OnlineSchedulingEngine
 from .simulator import SchedulingEngine, run_scheduler
 from .env import (
     FeatureCache,
@@ -49,6 +50,8 @@ __all__ = [
     "conservative_backfill_candidates",
     "shadow_state",
     "shadow_time_and_extra",
+    "EngineCore",
+    "OnlineSchedulingEngine",
     "SchedulingEngine",
     "run_scheduler",
     "FeatureCache",

@@ -15,26 +15,30 @@ at each scheduling point.  Semantics follow the paper's SchedGym:
 
 :class:`SchedulingEngine` is the low-level stepper shared by
 :func:`run_scheduler` (heuristics / trained policies, used by all the table
-benches) and :class:`repro.sim.env.SchedGym` (the RL training env).
+benches) and :class:`repro.sim.env.SchedGym` (the RL training env).  The
+event mechanics live in :class:`repro.sim.core.EngineCore`; this driver
+adds only what the batch setting knows up front — the full job list — and
+is bit-identical to the pre-split engine (golden-pinned).  The open-ended
+variant that accepts streaming submissions is
+:class:`repro.sim.core.OnlineSchedulingEngine`.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
 from typing import Sequence
 
 from repro.telemetry import core as _telemetry
 from repro.workloads.job import Job
 
-from .backfill import backfill_candidates, conservative_backfill_candidates
-from .cluster import Cluster, ClusterSpec, mem_demand
-from .events import EventKind, EventQueue
+from .cluster import ClusterSpec
+from .core import EngineCore
+from .events import EventKind
 
 __all__ = ["SchedulingEngine", "run_scheduler"]
 
 
-class SchedulingEngine:
-    """Event-driven stepper over one job sequence.
+class SchedulingEngine(EngineCore):
+    """Event-driven stepper over one pre-sampled job sequence.
 
     The driver loop is::
 
@@ -46,19 +50,10 @@ class SchedulingEngine:
             engine.advance_until_decision()
         completed = engine.completed
 
-    Hot-path invariants (relied on by the vectorised rollout path):
-
-    * ``pending`` is kept sorted by ``(submit_time, job_id)`` — FCFS order —
-      at all times, so observation building never re-sorts it.  Arrivals
-      pop off the event heap in exactly that order, so maintaining the
-      invariant is an O(1) append; removals locate the job by bisection.
-    * running jobs are tracked in an insertion-ordered id map, making the
-      per-finish-event removal O(1) instead of an O(n) list scan with the
-      full dataclass ``__eq__``.
+    All arrivals are pushed at construction; ``commit`` never pauses (the
+    default infinite horizon applies), so it behaves exactly as before the
+    core split.
     """
-
-    #: accepted backfilling modes (True is an alias for "easy")
-    BACKFILL_MODES = (False, True, "easy", "conservative")
 
     def __init__(
         self,
@@ -68,48 +63,16 @@ class SchedulingEngine:
     ):
         if not jobs:
             raise ValueError("cannot simulate an empty job sequence")
-        if backfill not in self.BACKFILL_MODES:
-            raise ValueError(
-                f"backfill must be one of {self.BACKFILL_MODES}, got {backfill!r}"
-            )
-        spec = ClusterSpec.coerce(n_procs)
-        self.jobs = [j.copy() for j in sorted(jobs, key=lambda x: (x.submit_time, x.job_id))]
+        super().__init__(n_procs, backfill=backfill)
+        self.jobs = [
+            j.copy() for j in sorted(jobs, key=lambda x: (x.submit_time, x.job_id))
+        ]
         for j in self.jobs:
-            if j.requested_procs > spec.n_procs:
-                raise ValueError(
-                    f"job {j.job_id} requests {j.requested_procs} procs but the "
-                    f"cluster has {spec.n_procs}"
-                )
-            if mem_demand(j) > spec.total_mem:
-                raise ValueError(
-                    f"job {j.job_id} needs {mem_demand(j):g} memory units but "
-                    f"the cluster has {spec.total_mem:g}"
-                )
-        self.cluster = spec.build()
-        self.backfill = backfill
-        self.now = 0.0
-        #: waiting jobs, always sorted by (submit_time, job_id) — FCFS order
-        self.pending: list[Job] = []
-        self._pending_keys: list[tuple[float, int]] = []  # parallel to pending
-        #: row index of each pending job within ``self.jobs`` (parallel to
-        #: ``pending``); observation builders gather precomputed per-job
-        #: feature columns by these rows without any per-step lookups
-        self.pending_rows: list[int] = []
+            self._validate_fits_cluster(j)
+        #: row index of each job within ``self.jobs``; observation builders
+        #: gather precomputed per-job feature columns by these rows
         self._row_of = {j.job_id: i for i, j in enumerate(self.jobs)}
-        self._running: dict[int, Job] = {}  # job_id -> Job, insertion-ordered
-        self.completed: list[Job] = []
-        self._events = EventQueue()
-        #: events processed so far (arrivals + finishes); drives the
-        #: telemetry events/s rate without touching the per-event path
-        self.n_events = 0
-        # The pending-depth instrument is resolved once per episode: the
-        # decision loop pays a single None check when telemetry is off.
-        _reg = _telemetry.current()
-        self._tel_depth = (
-            _reg.histogram("engine.pending_depth", bounds=_telemetry.INT_BOUNDS)
-            if _reg.enabled
-            else None
-        )
+        self._next_row = len(self.jobs)
         for j in self.jobs:
             self._events.push(j.submit_time, EventKind.ARRIVAL, j)
 
@@ -121,103 +84,6 @@ class SchedulingEngine:
     @property
     def n_jobs(self) -> int:
         return len(self.jobs)
-
-    @property
-    def running(self) -> list[Job]:
-        """Currently executing jobs, in start order."""
-        return list(self._running.values())
-
-    # ------------------------------------------------------------------
-    def _pending_index(self, job: Job) -> int:
-        """Index of ``job`` in the sorted pending list, or -1."""
-        key = (job.submit_time, job.job_id)
-        i = bisect_left(self._pending_keys, key)
-        if i < len(self.pending):
-            found = self.pending[i]
-            # identity first: committed jobs are the engine's own objects,
-            # and the dataclass __eq__ compares all 19 fields
-            if found is job or found == job:
-                return i
-        return -1
-
-    def _start(self, job: Job) -> None:
-        """Allocate and launch ``job`` at the current time."""
-        self.cluster.allocate(job)
-        job.start_time = self.now
-        i = self._pending_index(job)
-        if i < 0:  # mirrors the old list.remove(job) contract
-            raise ValueError(f"job {job.job_id} is not pending")
-        del self.pending[i]
-        del self._pending_keys[i]
-        del self.pending_rows[i]
-        self._running[job.job_id] = job
-        self._events.push(job.end_time, EventKind.FINISH, job)
-
-    def _process_next_event(self) -> None:
-        """Advance the clock to the next event and apply it."""
-        time, kind, job_id, job = self._events.pop_raw()
-        assert time >= self.now, "event queue went backwards in time"
-        self.now = time
-        self.n_events += 1
-        if kind == EventKind.FINISH:
-            self.cluster.release(job)
-            del self._running[job_id]
-            self.completed.append(job)
-        else:
-            # Arrivals pop in (time, job_id) order, so appending preserves
-            # the FCFS sort; the bisect branch is a safety net for exotic
-            # callers that push out-of-order arrivals.
-            key = (time, job_id)
-            if not self._pending_keys or key >= self._pending_keys[-1]:
-                self.pending.append(job)
-                self._pending_keys.append(key)
-                self.pending_rows.append(self._row_of[job_id])
-            else:
-                i = bisect_left(self._pending_keys, key)
-                self.pending.insert(i, job)
-                self._pending_keys.insert(i, key)
-                self.pending_rows.insert(i, self._row_of[job_id])
-
-    def advance_until_decision(self) -> bool:
-        """Run events until a scheduling decision is needed.
-
-        Returns True if there is a decision to make (pending non-empty),
-        False if the episode is over.
-        """
-        while not self.pending:
-            if not self._events:
-                return False  # nothing pending, nothing queued: done
-            self._process_next_event()
-        if self._tel_depth is not None:
-            self._tel_depth.record(len(self.pending))
-        return True
-
-    def commit(self, job: Job) -> None:
-        """Commit to starting ``job``: wait (and backfill) until it fits."""
-        if self._pending_index(job) < 0:
-            raise ValueError(f"job {job.job_id} is not pending")
-        while not self.cluster.can_allocate(job):
-            if self.backfill:
-                for candidate in self._backfill_pass(job):
-                    self._start(candidate)
-                if self.cluster.can_allocate(job):
-                    break
-            if not self._events:
-                raise RuntimeError(
-                    f"deadlock: job {job.job_id} cannot fit and no events remain"
-                )
-            self._process_next_event()
-        self._start(job)
-
-    def _backfill_pass(self, head: Job) -> list[Job]:
-        running = list(self._running.values())
-        if self.backfill == "conservative":
-            return conservative_backfill_candidates(
-                head, self.pending, running, self.cluster, self.now
-            )
-        return backfill_candidates(
-            head, self.pending, running, self.cluster, self.now
-        )
 
 
 def run_scheduler(

@@ -1,11 +1,12 @@
 """Tests for the CI bench-regression gate (benchmarks/perf/check_regression.py).
 
-The gate has four kinds of checks: absolute rollout throughput (gates
+The gate has five kinds of checks: absolute rollout throughput (gates
 only on comparable hardware), the within-run speedup ratios — rollout
 vectorization, the sparse-vs-dense PPO update, the async actor advantage
 — which gate on every platform, the absolute telemetry-overhead floor
-(enabled/disabled rollout throughput within one run), and the absolute
-shm pipe-byte ceiling (``ipc.bytes_shm_over_inline``).  These tests pin
+(enabled/disabled rollout throughput within one run), the absolute
+shm pipe-byte ceiling (``ipc.bytes_shm_over_inline``), and the absolute
+serving wire-layer floor (``serving.served_over_direct``).  These tests pin
 the decision table so the CI step stays a real gate rather than a
 decorative one.
 """
@@ -24,7 +25,7 @@ _spec.loader.exec_module(check_regression)
 
 def bench_doc(steps_per_sec, speedup, python="3.11.7", cpu_count=4,
               machine="x86_64", sparse_speedup=3.0, actor_ratio=1.6,
-              telemetry_ratio=0.99, ipc_ratio=0.05):
+              telemetry_ratio=0.99, ipc_ratio=0.05, serving_ratio=0.2):
     return {
         "scales": {
             "smoke": {
@@ -43,6 +44,9 @@ def bench_doc(steps_per_sec, speedup, python="3.11.7", cpu_count=4,
                 },
                 "ipc": {
                     "bytes_shm_over_inline": ipc_ratio,
+                },
+                "serving": {
+                    "served_over_direct": serving_ratio,
                 },
                 "runtime": {
                     "actor": {
@@ -244,6 +248,41 @@ class TestIpcGate:
         # section — first run seeds it.
         cur = bench_doc(29000, 5.0)
         del cur["scales"]["smoke"]["ipc"]
+        assert gate(bench_doc(30000, 5.0), cur) == 0
+
+
+class TestServingFloorGate:
+    """``serving.served_over_direct`` gates against an *absolute* floor
+    (default 0.05) — the daemon's socket front end must deliver a
+    bounded fraction of the in-process dispatch throughput, regardless
+    of what the baseline recorded."""
+
+    def test_over_floor_passes(self, gate):
+        assert gate(bench_doc(30000, 5.0),
+                    bench_doc(29000, 5.0, serving_ratio=0.2)) == 0
+
+    def test_under_floor_fails_even_cross_platform(self, gate):
+        base = bench_doc(30000, 5.0, cpu_count=1)
+        cur = bench_doc(29000, 5.0, cpu_count=4, serving_ratio=0.01)
+        assert gate(base, cur) == 1
+
+    def test_floor_is_absolute_not_baseline_relative(self, gate):
+        # A degraded baseline must not excuse a degraded current run.
+        base = bench_doc(30000, 5.0, serving_ratio=0.02)
+        cur = bench_doc(29000, 5.0, serving_ratio=0.03)
+        assert gate(base, cur) == 1
+
+    def test_floor_flag_overrides(self, gate):
+        base = bench_doc(30000, 5.0)
+        cur = bench_doc(29000, 5.0, serving_ratio=0.03)
+        assert gate(base, cur, "--serving-floor", "0.02") == 0
+        assert gate(base, cur, "--serving-floor", "0") == 0  # disabled
+
+    def test_missing_entry_skips_check(self, gate):
+        # Runs recorded before the serving layer existed have no serving
+        # section — first run seeds it.
+        cur = bench_doc(29000, 5.0)
+        del cur["scales"]["smoke"]["serving"]
         assert gate(bench_doc(30000, 5.0), cur) == 0
 
 

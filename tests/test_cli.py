@@ -370,3 +370,144 @@ class TestTrainSummary:
         summary = _train_summary(
             self.result_with_curve("bsld", [40.0, 19.0], best_epoch=-1))
         assert "final 19.00" in summary
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7653
+        assert args.tenant is None
+        assert args.history == 10_000
+        assert args.telemetry is None
+
+    def test_tenant_spec_minimal(self):
+        from repro.cli import _parse_tenant
+
+        tenant = _parse_tenant("alpha:FCFS:64")
+        assert tenant.name == "alpha"
+        assert tenant.scheduler == "FCFS"
+        assert tenant.n_procs == 64
+        assert tenant.backfill is False
+        assert tenant.memory is None
+        assert tenant.policy_path is None
+
+    def test_tenant_spec_backfill_and_memory(self):
+        from repro.cli import _parse_tenant
+
+        assert _parse_tenant("a:SJF:32:easy").backfill == "easy"
+        assert _parse_tenant("a:SJF:32:true").backfill is True
+        assert _parse_tenant("a:SJF:32:none").backfill is False
+        assert _parse_tenant("a:SJF:32:").backfill is False
+        tenant = _parse_tenant("a:SJF:32:conservative:4.5")
+        assert tenant.backfill == "conservative"
+        assert tenant.memory == 4.5
+
+    def test_tenant_spec_policy_path(self):
+        import argparse
+
+        from repro.cli import _parse_tenant
+
+        tenant = _parse_tenant("rl:models/best.npz:128")
+        assert tenant.scheduler == "RL"
+        assert tenant.policy_path == "models/best.npz"
+        # a plain heuristic name never becomes a path
+        assert _parse_tenant("h:F1:128").policy_path is None
+
+    def test_tenant_spec_rejects_malformed(self):
+        import argparse
+
+        from repro.cli import _parse_tenant
+
+        for bad in ("alpha", "alpha:FCFS", "a:FCFS:x", "a:FCFS:0",
+                    "a:FCFS:64:bogus", "a:b:c:d:e:f"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _parse_tenant(bad)
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit", "--stats"])
+        assert args.port == 7653
+        assert args.tenant is None and not args.drain and not args.stop
+
+
+class TestSubmitCommand:
+    def test_no_action_is_an_error(self, capsys):
+        assert main(["submit"]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_swf_and_single_job_conflict(self, capsys):
+        assert main(["submit", "--swf", "x.swf", "--job-id", "1",
+                     "--runtime", "5"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_single_job_needs_id_and_runtime(self, capsys):
+        assert main(["submit", "--job-id", "1"]) == 2
+        assert main(["submit", "--runtime", "5"]) == 2
+        assert "both --job-id and --runtime" in capsys.readouterr().err
+
+    def test_unreachable_daemon_exits_one(self, capsys):
+        # port 1 on loopback: nothing listens there
+        assert main(["submit", "--port", "1", "--stats"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    @pytest.fixture()
+    def daemon(self):
+        import asyncio
+        import threading
+        import time as _time
+
+        from repro.config import ServeConfig, TenantConfig
+        from repro.serve import ServeClient, ServeDaemon, ServeError
+
+        config = ServeConfig(port=0, tenants=(
+            TenantConfig(name="solo", scheduler="FCFS", n_procs=16),
+        ))
+        d = ServeDaemon(config)
+        thread = threading.Thread(
+            target=lambda: asyncio.run(d.run_async()), daemon=True
+        )
+        thread.start()
+        deadline = _time.monotonic() + 15
+        while d.address is None and _time.monotonic() < deadline:
+            _time.sleep(0.01)
+        assert d.address is not None
+        yield d
+        if thread.is_alive():
+            try:
+                with ServeClient(*d.address) as client:
+                    client.drain(stop=True)
+            except ServeError:
+                pass
+        thread.join(timeout=15)
+
+    def test_single_job_round_trip(self, daemon, capsys):
+        import json as _json
+
+        host, port = daemon.address
+        base = ["submit", "--host", host, "--port", str(port)]
+        assert main(base + ["--job-id", "1", "--runtime", "30",
+                            "--procs", "8"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["state"] == "running"
+        assert main(base + ["--status", "1"]) == 0
+        assert _json.loads(capsys.readouterr().out)["state"] == "running"
+        assert main(base + ["--advance", "100", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert '"finished": 1' in out
+
+    def test_swf_replay_shares_wire(self, daemon, tmp_path, capsys):
+        import json as _json
+
+        from repro.workloads import SWFTrace, load_trace, write_swf
+
+        trace = load_trace("Lublin-1", n_jobs=200, seed=3)
+        jobs = [j.copy() for j in trace.jobs[:10]]
+        for job in jobs:
+            job.requested_procs = min(job.requested_procs, 16)
+        write_swf(SWFTrace(jobs=jobs), str(tmp_path / "s.swf"))
+        host, port = daemon.address
+        assert main(["submit", "--host", host, "--port", str(port),
+                     "--swf", str(tmp_path / "s.swf"), "--drain"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["submitted"] == 10
+        assert doc["stats"]["finished"] == 10

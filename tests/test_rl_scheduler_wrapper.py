@@ -225,6 +225,70 @@ class TestDeployFeatureCache:
         assert len(cache.submit) >= 70  # grown past the 64-row floor
         assert cache.static.shape[1] == cfg.job_features
 
+    def test_evict_remaps_surviving_rows(self):
+        cfg = EnvConfig(max_obsv_size=8)
+        cache = DeployFeatureCache(64, cfg)
+        rng = np.random.default_rng(3)
+        jobs = random_pending(rng, 12)
+        cache.rows(jobs)
+        gone = [j.job_id for j in jobs[::2]]
+        assert cache.evict(gone) == len(gone)
+        assert cache.size == 12 - len(gone)
+        # surviving rows must still validate — rows() rebuilds (and resets
+        # size) on any identity mismatch, so an unchanged size proves the
+        # compaction kept every feature column aligned
+        survivors = jobs[1::2]
+        rows = cache.rows(survivors)
+        assert cache.size == len(survivors)
+        np.testing.assert_array_equal(
+            cache.submit[rows], [j.submit_time for j in survivors]
+        )
+        # evicting unknown ids is a no-op
+        assert cache.evict(gone) == 0
+
+    def test_evict_bounds_long_lived_stream(self):
+        """Regression: a daemon's unbounded job stream must not grow the
+        cache without bound once departed jobs are evicted."""
+        cfg = EnvConfig(max_obsv_size=8)
+        cache = DeployFeatureCache(64, cfg)
+        rng = np.random.default_rng(5)
+        leaked = DeployFeatureCache(64, cfg)
+        for _ in range(40):
+            batch = random_pending(rng, 25)
+            cache.rows(batch)
+            leaked.rows(batch)
+            cache.evict([j.job_id for j in batch])  # all depart
+        assert leaked.size == 40 * 25  # the old behaviour: unbounded
+        assert cache.size == 0
+        assert len(cache.submit) == 64  # capacity shrank back to the floor
+
+    def test_evict_all_then_reuse(self):
+        cfg = EnvConfig(max_obsv_size=8)
+        cache = DeployFeatureCache(64, cfg)
+        rng = np.random.default_rng(8)
+        jobs = random_pending(rng, 5)
+        cache.rows(jobs)
+        cache.evict([j.job_id for j in jobs])
+        assert cache.size == 0 and cache.index == {}
+        fresh = random_pending(rng, 3)
+        rows = cache.rows(fresh)
+        np.testing.assert_array_equal(rows, [0, 1, 2])
+
+
+class TestForgetJobs:
+    def test_policy_forgets_departed_jobs(self, policy_scheduler):
+        pending = [job(i, submit=float(i)) for i in range(1, 7)]
+        policy_scheduler.select(pending, 10.0, Cluster(8))
+        assert policy_scheduler._cache.size == 6
+        assert policy_scheduler.forget_jobs([1, 2, 3]) == 3
+        assert policy_scheduler._cache.size == 3
+        # selection over the survivors still works after compaction
+        chosen = policy_scheduler.select(pending[3:], 10.0, Cluster(8))
+        assert chosen in pending[3:]
+
+    def test_forget_before_any_select_is_noop(self, policy_scheduler):
+        assert policy_scheduler.forget_jobs([1, 2]) == 0
+
 
 class TestCheckedNProcs:
     def test_constructor_validates(self):
